@@ -1,0 +1,288 @@
+// Package repro_test holds the benchmark entry points: one testing.B
+// bench per reproduced table/figure (delegating to internal/experiments
+// in quick mode), plus micro-benchmarks of the STM's primitive costs.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The full-scale artefacts are produced by cmd/partbench; these benches
+// regenerate the same rows/series at reduced scale so the whole suite
+// stays fast enough for CI.
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+	"repro/stm"
+	"repro/txds"
+)
+
+// benchOptions returns experiment options scaled for testing.B.
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Quick = true
+	o.PointDuration = 120 * time.Millisecond
+	o.Warmup = 30 * time.Millisecond
+	return o
+}
+
+// runExperiment executes one experiment per b.N batch and reports its
+// headline throughput.
+func runExperiment(b *testing.B, id string) {
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Output == "" {
+			b.Fatal("empty experiment output")
+		}
+		if i == 0 {
+			b.Logf("%s: %s", rep.ID, rep.Summary)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+func BenchmarkFig2(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { runExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+
+// --- primitive-cost micro-benchmarks ---
+
+// BenchmarkUncontendedIncrement measures the base cost of a minimal
+// read-modify-write transaction (one load, one store, commit).
+func BenchmarkUncontendedIncrement(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cfg  stm.PartConfig
+	}{
+		{"etl-wb", stm.DefaultPartConfig()},
+		{"etl-wt", func() stm.PartConfig { c := stm.DefaultPartConfig(); c.Write = stm.WriteThrough; return c }()},
+		{"ctl", func() stm.PartConfig { c := stm.DefaultPartConfig(); c.Acquire = stm.CommitTime; return c }()},
+		{"visible", func() stm.PartConfig { c := stm.DefaultPartConfig(); c.Read = stm.VisibleReads; return c }()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := mode.cfg
+			rt := stm.MustNew(stm.Config{HeapWords: 1 << 16, Default: &cfg})
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			var a stm.Addr
+			th.Atomic(func(tx *stm.Tx) {
+				a = tx.Alloc(stm.SiteID(0), 1)
+				tx.Store(a, 0)
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th.Atomic(func(tx *stm.Tx) { tx.Store(a, tx.Load(a)+1) })
+			}
+		})
+	}
+}
+
+// BenchmarkReadOnlyScan measures per-read cost of long read-only
+// transactions under both visibilities.
+func BenchmarkReadOnlyScan(b *testing.B) {
+	const n = 1024
+	for _, mode := range []struct {
+		name string
+		read stm.PartConfig
+	}{
+		{"invisible", stm.DefaultPartConfig()},
+		{"visible", func() stm.PartConfig { c := stm.DefaultPartConfig(); c.Read = stm.VisibleReads; return c }()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := mode.read
+			rt := stm.MustNew(stm.Config{HeapWords: 1 << 16, Default: &cfg})
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			var c *txds.CounterArray
+			th.Atomic(func(tx *stm.Tx) { c = txds.NewCounterArray(tx, rt, "scan", n, 1) })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th.ReadOnlyAtomic(func(tx *stm.Tx) { c.Sum(tx) })
+			}
+			b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "reads/s")
+		})
+	}
+}
+
+// BenchmarkPartitionLookup isolates the cost table2 measures: transactions
+// against a partitioned heap vs the same heap unpartitioned.
+func BenchmarkPartitionLookup(b *testing.B) {
+	for _, partitioned := range []bool{false, true} {
+		name := "unpartitioned"
+		if partitioned {
+			name = "partitioned"
+		}
+		b.Run(name, func(b *testing.B) {
+			rt := stm.MustNew(stm.Config{HeapWords: 1 << 18})
+			if partitioned {
+				rt.StartProfiling()
+			}
+			th := rt.MustAttach()
+			var tree *txds.RBTree
+			th.Atomic(func(tx *stm.Tx) { tree = txds.NewRBTree(tx, rt, "pl.tree") })
+			for k := uint64(0); k < 512; k++ {
+				th.Atomic(func(tx *stm.Tx) { tree.Insert(tx, k*2, k) })
+			}
+			rt.Detach(th)
+			if partitioned {
+				if _, err := rt.StopProfilingAndPartition(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			th = rt.MustAttach()
+			defer rt.Detach(th)
+			rng := workload.NewRng(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := rng.Uint64() % 1024
+				th.ReadOnlyAtomic(func(tx *stm.Tx) { tree.Contains(tx, k) })
+			}
+		})
+	}
+}
+
+// BenchmarkIntsetStructures measures single-thread operation cost per
+// structure at 20% updates (the per-structure baseline of the intset
+// microbenchmarks).
+func BenchmarkIntsetStructures(b *testing.B) {
+	for _, kind := range []apps.IntSetKind{apps.SetList, apps.SetSkipList, apps.SetRBTree, apps.SetHash, apps.SetBTree} {
+		b.Run(kind.String(), func(b *testing.B) {
+			rt := stm.MustNew(stm.Config{HeapWords: 1 << 20})
+			th := rt.MustAttach()
+			is := apps.NewIntSet(rt, th, apps.IntSetSpec{
+				Kind: kind, Name: "b." + kind.String(), KeyRange: 1024, UpdateRatio: 0.2, Buckets: 128,
+			})
+			defer rt.Detach(th)
+			rng := workload.NewRng(7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				is.Op(th, rng)
+			}
+		})
+	}
+}
+
+// BenchmarkVacationOps measures the reservation transaction cost.
+func BenchmarkVacationOps(b *testing.B) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 22})
+	th := rt.MustAttach()
+	cfg := apps.DefaultVacationConfig()
+	cfg.ItemsPerTable = 256
+	cfg.Customers = 256
+	v := apps.NewVacation(rt, th, cfg)
+	defer rt.Detach(th)
+	rng := workload.NewRng(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Op(th, rng)
+	}
+}
+
+// BenchmarkTracingOverhead measures the per-transaction cost of the
+// attempt tracer (one atomic pointer load when detached; one ring-buffer
+// store when attached).
+func BenchmarkTracingOverhead(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "off"
+		if traced {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			rt := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			var a stm.Addr
+			th.Atomic(func(tx *stm.Tx) {
+				a = tx.Alloc(stm.SiteID(0), 1)
+				tx.Store(a, 0)
+			})
+			if traced {
+				rt.StartTracing(4096)
+				defer rt.StopTracing()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th.Atomic(func(tx *stm.Tx) { tx.Store(a, tx.Load(a)+1) })
+			}
+		})
+	}
+}
+
+// BenchmarkRangeScan measures ordered-structure range scans (B-tree's
+// wide nodes vs the binary trees' pointer chases).
+func BenchmarkRangeScan(b *testing.B) {
+	const n, span = 4096, 256
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 21})
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var rb *txds.RBTree
+	var bt *txds.BTree
+	th.Atomic(func(tx *stm.Tx) {
+		rb = txds.NewRBTree(tx, rt, "rs.rb")
+		bt = txds.NewBTree(tx, rt, "rs.bt")
+	})
+	for k := uint64(0); k < n; k++ {
+		th.Atomic(func(tx *stm.Tx) {
+			rb.Insert(tx, k, k)
+			bt.Insert(tx, k, k)
+		})
+	}
+	rng := workload.NewRng(5)
+	b.Run("rbtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lo := rng.Uint64() % (n - span)
+			th.ReadOnlyAtomic(func(tx *stm.Tx) {
+				rb.Range(tx, lo, lo+span, func(k, v uint64) bool { return true })
+			})
+		}
+	})
+	b.Run("btree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lo := rng.Uint64() % (n - span)
+			th.ReadOnlyAtomic(func(tx *stm.Tx) {
+				bt.Range(tx, lo, lo+span, func(k, v uint64) bool { return true })
+			})
+		}
+	})
+}
+
+// BenchmarkContendedCounter measures throughput of the maximal-contention
+// workload under the harness (8 goroutines, interleaving simulation).
+func BenchmarkContendedCounter(b *testing.B) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16, YieldEveryOps: 8})
+	setup := rt.MustAttach()
+	var a stm.Addr
+	setup.Atomic(func(tx *stm.Tx) {
+		a = tx.Alloc(stm.SiteID(0), 1)
+		tx.Store(a, 0)
+	})
+	rt.Detach(setup)
+	b.ResetTimer()
+	res := bench.RunOps(rt, 8, b.N/8+1, 3, func(th *stm.Thread, rng *workload.Rng) {
+		th.Atomic(func(tx *stm.Tx) { tx.Store(a, tx.Load(a)+1) })
+	})
+	b.ReportMetric(res.Throughput, "ops/s")
+	b.ReportMetric(res.AbortRate, "abort-rate")
+}

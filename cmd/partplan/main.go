@@ -1,0 +1,117 @@
+// Command partplan runs the offline half of the hybrid tuning story:
+// profile a benchmark application, install the discovered partitioning,
+// let the runtime tuner specialize each partition under load, and emit
+// the resulting plan (topology + tuned per-partition configurations) as
+// JSON. A later run loads that file with Runtime.LoadAndInstallPlan and
+// starts already-tuned — the runtime tuner then only tracks drift.
+//
+// Usage:
+//
+//	partplan -app vacation -tune 3s > vacation.plan.json
+//	partplan -app intset -check vacation.plan.json   # validate a file loads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+	"repro/internal/workload"
+	"repro/stm"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "intset", "application: intset, vacation, bank, genome, kmeans")
+		tune    = flag.Duration("tune", 2*time.Second, "tuning window under load before the plan is saved")
+		threads = flag.Int("threads", 8, "worker threads during the tuning window")
+		yield   = flag.Uint64("yield", 8, "interleaving simulation (see partbench)")
+		check   = flag.String("check", "", "instead of generating: validate that this plan file loads against the app's sites")
+	)
+	flag.Parse()
+
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 22, YieldEveryOps: *yield})
+	rt.StartProfiling()
+	th := rt.MustAttach()
+	op, err := buildApp(rt, th, *app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Warm-up drives the profiler.
+	rng := workload.NewRng(1)
+	for i := 0; i < 500; i++ {
+		op(th, rng)
+	}
+	rt.Detach(th)
+
+	if *check != "" {
+		rt.StopProfiling()
+		f, err := os.Open(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		plan, err := rt.LoadAndInstallPlan(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plan does not load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "plan ok: %d partitions\n", plan.NumPartitions())
+		return
+	}
+
+	plan, err := rt.StopProfilingAndPartition()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprint(os.Stderr, plan.Describe(rt.Sites()))
+
+	// Tune under load.
+	tc := stm.DefaultTunerConfig()
+	tc.Interval = 25 * time.Millisecond
+	rt.StartTuner(tc)
+	bench.Run(rt, bench.RunConfig{
+		Threads: *threads,
+		Warmup:  0,
+		Measure: *tune,
+		Seed:    2,
+	}, op)
+	decisions := rt.StopTuner()
+	fmt.Fprintf(os.Stderr, "tuner: %d decisions in %s\n", len(decisions), *tune)
+
+	if err := rt.SavePlan(os.Stdout, plan); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// buildApp constructs the named application and returns its op function.
+func buildApp(rt *stm.Runtime, th *stm.Thread, name string) (bench.OpFunc, error) {
+	switch name {
+	case "intset":
+		m := apps.NewMultiSet(rt, th, apps.DefaultMultiSetSpecs())
+		return func(th *stm.Thread, rng *workload.Rng) { m.Op(th, rng) }, nil
+	case "vacation":
+		v := apps.NewVacation(rt, th, apps.DefaultVacationConfig())
+		return func(th *stm.Thread, rng *workload.Rng) { v.Op(th, rng) }, nil
+	case "bank":
+		cfg := apps.DefaultBankConfig()
+		b := apps.NewBank(rt, th, cfg)
+		return func(th *stm.Thread, rng *workload.Rng) { b.Op(th, rng, cfg) }, nil
+	case "genome":
+		g := apps.NewGenome(rt, th, apps.DefaultGenomeConfig())
+		return func(th *stm.Thread, rng *workload.Rng) { g.Op(th, rng) }, nil
+	case "kmeans":
+		cfg := apps.DefaultKMeansConfig()
+		km := apps.NewKMeans(rt, th, cfg, 11)
+		return func(th *stm.Thread, rng *workload.Rng) { km.Op(th, rng, cfg) }, nil
+	default:
+		return nil, fmt.Errorf("partplan: unknown app %q (have intset, vacation, bank, genome, kmeans)", name)
+	}
+}

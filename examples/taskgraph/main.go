@@ -1,0 +1,139 @@
+// Taskgraph: a work-scheduling pipeline built from the container
+// structures — a priority queue of pending tasks, a deque of running
+// tasks (stolen from both ends), and a stack of completed task records —
+// each discovered as its own partition with its own contention profile.
+// The run enables the tuner's contention-manager adaptation (heuristic 3)
+// so the hottest partition can switch to older-wins arbitration.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/stm"
+	"repro/txds"
+)
+
+const (
+	producers = 2
+	workers   = 4
+	tasks     = 4000
+)
+
+func main() {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 20, YieldEveryOps: 8})
+
+	rt.StartProfiling()
+	setup := rt.MustAttach()
+	var (
+		pending *txds.PriorityQueue
+		running *txds.Deque
+		done    *txds.Stack
+	)
+	setup.Atomic(func(tx *stm.Tx) {
+		pending = txds.NewPriorityQueue(tx, rt, "graph.pending", 1)
+		running = txds.NewDeque(tx, rt, "graph.running")
+		done = txds.NewStack(tx, rt, "graph.done")
+	})
+	// Prime each structure so the profiler sees its pointer links.
+	setup.Atomic(func(tx *stm.Tx) {
+		pending.Insert(tx, 0, 0)
+		running.PushBack(tx, 0)
+		done.Push(tx, 0)
+		pending.PopMin(tx)
+		running.PopFront(tx)
+		done.Pop(tx)
+	})
+	rt.Detach(setup)
+	plan, err := rt.StopProfilingAndPartition()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(plan.Describe(rt.Sites()))
+
+	// Tuner with CM adaptation: the stack and queue ends are single hot
+	// words, exactly the case older-wins arbitration protects.
+	tc := stm.DefaultTunerConfig()
+	tc.Interval = 20 * time.Millisecond
+	tc.AdaptCM = true
+	tc.ToArbiterConflictRate = 0.05
+	tc.MinCommits = 50
+	rt.StartTuner(tc)
+
+	var wg sync.WaitGroup
+	var produced, completed atomic.Uint64
+
+	// Producers enqueue prioritized tasks.
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			for i := 0; i < tasks/producers; i++ {
+				taskID := id*1_000_000 + uint64(i)
+				prio := taskID % 17
+				th.Atomic(func(tx *stm.Tx) { pending.Insert(tx, prio, taskID) })
+				produced.Add(1)
+			}
+		}(uint64(p))
+	}
+
+	// Workers: claim highest-priority task into the running deque, "run"
+	// it, then move it to the done stack. Even-numbered workers steal from
+	// the front of the running deque, odd ones from the back.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			for completed.Load() < tasks {
+				var task uint64
+				var got bool
+				th.Atomic(func(tx *stm.Tx) {
+					_, task, got = pending.PopMin(tx)
+					if got {
+						running.PushBack(tx, task)
+					}
+				})
+				if !got {
+					continue
+				}
+				th.Atomic(func(tx *stm.Tx) {
+					var t uint64
+					var ok bool
+					if id%2 == 0 {
+						t, ok = running.PopFront(tx)
+					} else {
+						t, ok = running.PopBack(tx)
+					}
+					if ok {
+						done.Push(tx, t)
+					}
+				})
+				completed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	decisions := rt.StopTuner()
+
+	check := rt.MustAttach()
+	defer rt.Detach(check)
+	check.Atomic(func(tx *stm.Tx) {
+		fmt.Printf("produced=%d completed(done stack)=%d pending-left=%d running-left=%d\n",
+			produced.Load(), done.Len(tx), pending.Len(tx), running.Len(tx))
+	})
+	for _, s := range rt.Stats() {
+		if s.Commits > 0 {
+			fmt.Printf("partition %-20s commits=%-7d aborts=%-6d abort-rate=%.3f\n",
+				s.Name, s.Commits, s.TotalAborts(), s.AbortRate())
+		}
+	}
+	for _, d := range decisions {
+		fmt.Println("tuner:", d)
+	}
+}

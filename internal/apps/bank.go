@@ -1,0 +1,91 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+	"repro/stm"
+	"repro/txds"
+)
+
+// Bank is the classic STM bank benchmark: an array of accounts, short
+// transfer transactions, and long read-only audit scans. Transfers are
+// tiny update transactions (high update ratio); audits read every
+// account (long invisible read sets that writers love to invalidate) —
+// the two faces the paper's visible/invisible discussion contrasts,
+// inside a single application.
+type Bank struct {
+	accounts *txds.CounterArray
+	n        int
+	initial  uint64
+}
+
+// BankConfig sizes the bank.
+type BankConfig struct {
+	Accounts       int
+	InitialBalance uint64
+	// AuditRatio is the fraction of operations that are full audits.
+	AuditRatio float64
+	// MaxTransfer bounds the amount moved per transfer.
+	MaxTransfer uint64
+}
+
+// DefaultBankConfig returns the sizing used by the experiments.
+func DefaultBankConfig() BankConfig {
+	return BankConfig{
+		Accounts:       1 << 12,
+		InitialBalance: 1000,
+		AuditRatio:     0.05,
+		MaxTransfer:    50,
+	}
+}
+
+// NewBank allocates and fills the account array.
+func NewBank(rt *stm.Runtime, th *stm.Thread, cfg BankConfig) *Bank {
+	b := &Bank{n: cfg.Accounts, initial: cfg.InitialBalance}
+	th.Atomic(func(tx *stm.Tx) {
+		b.accounts = txds.NewCounterArray(tx, rt, "bank.accounts", cfg.Accounts, cfg.InitialBalance)
+	})
+	return b
+}
+
+// Transfer moves a random amount between two random accounts.
+func (b *Bank) Transfer(th *stm.Thread, rng *workload.Rng, maxAmount uint64) {
+	from := rng.Intn(b.n)
+	to := rng.Intn(b.n)
+	amount := 1 + rng.Uint64()%maxAmount
+	th.Atomic(func(tx *stm.Tx) {
+		b.accounts.Transfer(tx, from, to, amount)
+	})
+}
+
+// Audit sums all accounts in a read-only transaction and returns the
+// total.
+func (b *Bank) Audit(th *stm.Thread) uint64 {
+	var sum uint64
+	th.ReadOnlyAtomic(func(tx *stm.Tx) {
+		sum = b.accounts.Sum(tx)
+	})
+	return sum
+}
+
+// ExpectedTotal returns the invariant sum.
+func (b *Bank) ExpectedTotal() uint64 { return uint64(b.n) * b.initial }
+
+// Op runs one operation from the configured mix.
+func (b *Bank) Op(th *stm.Thread, rng *workload.Rng, cfg BankConfig) string {
+	if rng.Float64() < cfg.AuditRatio {
+		b.Audit(th)
+		return "audit"
+	}
+	b.Transfer(th, rng, cfg.MaxTransfer)
+	return "transfer"
+}
+
+// CheckInvariants verifies conservation of money.
+func (b *Bank) CheckInvariants(th *stm.Thread) string {
+	if got, want := b.Audit(th), b.ExpectedTotal(); got != want {
+		return fmt.Sprintf("bank: total %d, want %d", got, want)
+	}
+	return ""
+}

@@ -1,0 +1,120 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+	"repro/stm"
+	"repro/txds"
+)
+
+// Pipeline is a staged producer/consumer application: tokens flow from an
+// intake queue through a transform stage into an output queue. Queues
+// concentrate all traffic on their head/tail words, so each queue is a
+// maximal-contention partition — the opposite end of the spectrum from
+// the reservation tables, and the reason a queue partition wants a
+// different concurrency-control configuration (short spins, coarse
+// detection) than a tree partition.
+type Pipeline struct {
+	intake *txds.Queue
+	output *txds.Queue
+	// produced/consumed counters live on the heap so the token balance
+	// is transactionally consistent.
+	counters stm.Addr // [0]=produced, [1]=consumed
+}
+
+// PipelineConfig sizes the pipeline.
+type PipelineConfig struct {
+	// InitialTokens are preloaded into the intake queue.
+	InitialTokens int
+}
+
+// NewPipeline builds the queues and preloads tokens.
+func NewPipeline(rt *stm.Runtime, th *stm.Thread, cfg PipelineConfig) *Pipeline {
+	p := &Pipeline{}
+	ctrSite := rt.RegisterSite("pipeline.counters")
+	th.Atomic(func(tx *stm.Tx) {
+		p.intake = txds.NewQueue(tx, rt, "pipeline.intake")
+		p.output = txds.NewQueue(tx, rt, "pipeline.output")
+		p.counters = tx.Alloc(ctrSite, 2)
+		tx.Store(p.counters, 0)
+		tx.Store(p.counters+1, 0)
+	})
+	for i := 0; i < cfg.InitialTokens; i++ {
+		v := uint64(i)
+		th.Atomic(func(tx *stm.Tx) {
+			p.intake.Enqueue(tx, v)
+			tx.Store(p.counters, tx.Load(p.counters)+1)
+		})
+	}
+	return p
+}
+
+// Produce enqueues a fresh token.
+func (p *Pipeline) Produce(th *stm.Thread, rng *workload.Rng) {
+	v := rng.Uint64() >> 1
+	th.Atomic(func(tx *stm.Tx) {
+		p.intake.Enqueue(tx, v)
+		tx.Store(p.counters, tx.Load(p.counters)+1)
+	})
+}
+
+// Transform moves one token from intake to output, applying a small
+// computation; it reports whether a token was available.
+func (p *Pipeline) Transform(th *stm.Thread) bool {
+	moved := false
+	th.Atomic(func(tx *stm.Tx) {
+		moved = false
+		v, ok := p.intake.Dequeue(tx)
+		if !ok {
+			return
+		}
+		p.output.Enqueue(tx, v*2+1)
+		moved = true
+	})
+	return moved
+}
+
+// Consume removes one token from the output; it reports whether one was
+// available.
+func (p *Pipeline) Consume(th *stm.Thread) bool {
+	got := false
+	th.Atomic(func(tx *stm.Tx) {
+		got = false
+		if _, ok := p.output.Dequeue(tx); !ok {
+			return
+		}
+		tx.Store(p.counters+1, tx.Load(p.counters+1)+1)
+		got = true
+	})
+	return got
+}
+
+// Op runs one pipeline step drawn from a balanced mix.
+func (p *Pipeline) Op(th *stm.Thread, rng *workload.Rng) {
+	switch rng.Intn(3) {
+	case 0:
+		p.Produce(th, rng)
+	case 1:
+		p.Transform(th)
+	default:
+		p.Consume(th)
+	}
+}
+
+// CheckInvariants verifies token conservation:
+// produced == consumed + in(intake) + in(output).
+func (p *Pipeline) CheckInvariants(th *stm.Thread) string {
+	var msg string
+	th.Atomic(func(tx *stm.Tx) {
+		msg = ""
+		produced := tx.Load(p.counters)
+		consumed := tx.Load(p.counters + 1)
+		inFlight := uint64(p.intake.Len(tx) + p.output.Len(tx))
+		if produced != consumed+inFlight {
+			msg = fmt.Sprintf("pipeline: produced %d != consumed %d + in-flight %d",
+				produced, consumed, inFlight)
+		}
+	})
+	return msg
+}

@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPipelineSequential(t *testing.T) {
+	rt := newRT(t, 0)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	p := NewPipeline(rt, th, PipelineConfig{InitialTokens: 10})
+	if msg := p.CheckInvariants(th); msg != "" {
+		t.Fatal(msg)
+	}
+	if !p.Transform(th) {
+		t.Fatal("transform with tokens available failed")
+	}
+	if !p.Consume(th) {
+		t.Fatal("consume with output available failed")
+	}
+	// Drain completely.
+	for p.Transform(th) {
+	}
+	for p.Consume(th) {
+	}
+	if p.Transform(th) || p.Consume(th) {
+		t.Fatal("empty pipeline still moved tokens")
+	}
+	if msg := p.CheckInvariants(th); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestPipelineConcurrentConservation(t *testing.T) {
+	rt := newRT(t, 8)
+	setup := rt.MustAttach()
+	p := NewPipeline(rt, setup, PipelineConfig{InitialTokens: 50})
+	rt.Detach(setup)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			rng := workload.NewRng(seed)
+			for i := 0; i < 2000; i++ {
+				p.Op(th, rng)
+			}
+		}(uint64(w) + 40)
+	}
+	wg.Wait()
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	if msg := p.CheckInvariants(th); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestPipelinePartitions(t *testing.T) {
+	rt := newRT(t, 0)
+	rt.StartProfiling()
+	th := rt.MustAttach()
+	p := NewPipeline(rt, th, PipelineConfig{InitialTokens: 20})
+	rng := workload.NewRng(3)
+	for i := 0; i < 200; i++ {
+		p.Op(th, rng)
+	}
+	rt.Detach(th)
+	plan, err := rt.StopProfilingAndPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// intake (meta+node), output (meta+node), counters → 3 partitions + global.
+	if got := plan.NumPartitions(); got != 4 {
+		t.Fatalf("NumPartitions = %d\n%s", got, plan.Describe(rt.Sites()))
+	}
+}

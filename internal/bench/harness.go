@@ -1,0 +1,160 @@
+// Package bench is the experiment harness: it drives worker threads over
+// a runtime for timed windows, snapshots per-partition statistics, and
+// assembles the tables and figures of the paper's evaluation (see
+// internal/experiments for the experiment definitions).
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/stm"
+)
+
+// RunConfig configures one measured run.
+type RunConfig struct {
+	Threads int
+	Warmup  time.Duration
+	Measure time.Duration
+	Seed    uint64
+	// SampleLatency, when true, records one op latency in 64 into the
+	// result histogram.
+	SampleLatency bool
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Ops        uint64
+	Elapsed    time.Duration
+	Throughput float64 // operations per second
+	Commits    uint64
+	Aborts     uint64
+	AbortRate  float64
+	PerPart    []core.PartStats // per-partition deltas over the window
+	Latency    *stats.Histogram
+}
+
+// String summarizes the result on one line.
+func (r Result) String() string {
+	return fmt.Sprintf("%.0f ops/s (ops=%d commits=%d aborts=%d rate=%.3f)",
+		r.Throughput, r.Ops, r.Commits, r.Aborts, r.AbortRate)
+}
+
+// OpFunc is one benchmark operation: it may run any number of
+// transactions on th.
+type OpFunc func(th *stm.Thread, rng *workload.Rng)
+
+// Run drives cfg.Threads workers executing op in a loop: warm-up window,
+// then a measured window, and returns aggregate and per-partition deltas.
+func Run(rt *stm.Runtime, cfg RunConfig, op OpFunc) Result {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	var (
+		stop    atomic.Bool
+		measure atomic.Bool
+		ops     atomic.Uint64
+		wg      sync.WaitGroup
+		hist    = &stats.Histogram{}
+	)
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			rng := workload.NewRng(seed)
+			local := uint64(0)
+			for !stop.Load() {
+				if cfg.SampleLatency && measure.Load() && local&63 == 0 {
+					t0 := time.Now()
+					op(th, rng)
+					hist.Record(uint64(time.Since(t0)))
+				} else {
+					op(th, rng)
+				}
+				if measure.Load() {
+					local++
+				}
+			}
+			ops.Add(local)
+		}(cfg.Seed*1000 + uint64(w) + 1)
+	}
+
+	time.Sleep(cfg.Warmup)
+	before := rt.Stats()
+	measure.Store(true)
+	t0 := time.Now()
+	time.Sleep(cfg.Measure)
+	measure.Store(false)
+	elapsed := time.Since(t0)
+	after := rt.Stats()
+	stop.Store(true)
+	wg.Wait()
+
+	res := Result{
+		Ops:     ops.Load(),
+		Elapsed: elapsed,
+		Latency: hist,
+	}
+	res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	n := len(after)
+	if len(before) < n {
+		n = len(before)
+	}
+	for i := 0; i < n; i++ {
+		d := after[i].Sub(before[i])
+		res.PerPart = append(res.PerPart, d)
+		res.Commits += d.Commits
+		res.Aborts += d.TotalAborts()
+	}
+	if res.Commits+res.Aborts > 0 {
+		res.AbortRate = float64(res.Aborts) / float64(res.Commits+res.Aborts)
+	}
+	return res
+}
+
+// RunOps drives cfg.Threads workers until each has executed opsPerThread
+// operations (no timed window); used where exact operation counts matter
+// more than duration, e.g. the phase experiments.
+func RunOps(rt *stm.Runtime, threads int, opsPerThread int, seed uint64, op OpFunc) Result {
+	var wg sync.WaitGroup
+	before := rt.Stats()
+	t0 := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(s uint64) {
+			defer wg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			rng := workload.NewRng(s)
+			for i := 0; i < opsPerThread; i++ {
+				op(th, rng)
+			}
+		}(seed*1000 + uint64(w) + 1)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	after := rt.Stats()
+	res := Result{
+		Ops:     uint64(threads * opsPerThread),
+		Elapsed: elapsed,
+	}
+	res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	n := min(len(after), len(before))
+	for i := 0; i < n; i++ {
+		d := after[i].Sub(before[i])
+		res.PerPart = append(res.PerPart, d)
+		res.Commits += d.Commits
+		res.Aborts += d.TotalAborts()
+	}
+	if res.Commits+res.Aborts > 0 {
+		res.AbortRate = float64(res.Aborts) / float64(res.Commits+res.Aborts)
+	}
+	return res
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memory"
+)
+
+func cmConfig(p CMPolicy) PartConfig {
+	cfg := DefaultPartConfig()
+	cfg.CM = p
+	cfg.LockBits = 8
+	return cfg
+}
+
+// TestCMPoliciesProgress checks that every contention-management policy
+// lets a contended counter workload finish with the exact count (no lost
+// updates, no livelock).
+func TestCMPoliciesProgress(t *testing.T) {
+	for _, pol := range []CMPolicy{CMSuicide, CMSpin, CMKarma, CMAggressive, CMBackoff, CMTimestamp} {
+		t.Run(pol.String(), func(t *testing.T) {
+			e := newTestEngine(t, cmConfig(pol))
+			setup := e.MustAttachThread()
+			var a memory.Addr
+			setup.Atomic(func(tx *Tx) {
+				a = tx.Alloc(memory.DefaultSite, 1)
+				tx.Store(a, 0)
+			})
+			e.DetachThread(setup)
+			const workers, perW = 6, 1500
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := e.MustAttachThread()
+					defer e.DetachThread(th)
+					for i := 0; i < perW; i++ {
+						th.Atomic(func(tx *Tx) { tx.Store(a, tx.Load(a)+1) })
+					}
+				}()
+			}
+			wg.Wait()
+			check := e.MustAttachThread()
+			check.Atomic(func(tx *Tx) {
+				if got := tx.Load(a); got != workers*perW {
+					t.Errorf("counter = %d, want %d", got, workers*perW)
+				}
+			})
+		})
+	}
+}
+
+// TestVisibleReaderArbitration exercises writer-vs-reader policies on a
+// visible-reads partition under contention.
+func TestVisibleReaderArbitration(t *testing.T) {
+	for _, rp := range []ReaderPolicy{WriterKillsReaders, WriterYieldsToReaders} {
+		t.Run(rp.String(), func(t *testing.T) {
+			cfg := DefaultPartConfig()
+			cfg.Read = VisibleReads
+			cfg.ReaderCM = rp
+			cfg.LockBits = 4 // few orecs: force reader/writer collisions
+			e := newTestEngine(t, cfg)
+			setup := e.MustAttachThread()
+			var base memory.Addr
+			const slots = 16
+			setup.Atomic(func(tx *Tx) {
+				base = tx.Alloc(memory.DefaultSite, slots)
+				for i := 0; i < slots; i++ {
+					tx.Store(base+memory.Addr(i), 5)
+				}
+			})
+			e.DetachThread(setup)
+
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th := e.MustAttachThread()
+					defer e.DetachThread(th)
+					for i := 0; i < 1000; i++ {
+						if id%2 == 0 {
+							th.Atomic(func(tx *Tx) {
+								// Sum must always be slots*5.
+								var s uint64
+								for j := 0; j < slots; j++ {
+									s += tx.Load(base + memory.Addr(j))
+								}
+								if s != slots*5 {
+									t.Errorf("reader saw sum %d", s)
+								}
+							})
+						} else {
+							th.Atomic(func(tx *Tx) {
+								j := memory.Addr(i % (slots - 1))
+								v := tx.Load(base + j)
+								if v == 0 {
+									return
+								}
+								tx.Store(base+j, v-1)
+								tx.Store(base+j+1, tx.Load(base+j+1)+1)
+							})
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			// Reader bits must all be clear when no transaction runs.
+			ps := e.Partition(GlobalPartition).loadState()
+			for i := range ps.table.orecs {
+				if r := ps.table.orecs[i].readers.Load(); r != 0 {
+					t.Fatalf("orec %d leaked reader bits %b", i, r)
+				}
+				if l := ps.table.orecs[i].lock.Load(); isLocked(l) {
+					t.Fatalf("orec %d leaked lock %x", i, l)
+				}
+			}
+		})
+	}
+}
+
+func TestKillFlagAbortsVictim(t *testing.T) {
+	e := newTestEngine(t, DefaultPartConfig())
+	th := e.MustAttachThread()
+	var a memory.Addr
+	th.Atomic(func(tx *Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 0)
+	})
+	attempts := 0
+	th.Atomic(func(tx *Tx) {
+		attempts++
+		if attempts == 1 {
+			th.kill() // simulate another thread's CM decision
+		}
+		tx.Load(a) // polls the flag
+	})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	s := e.StatsSnapshot(GlobalPartition)
+	if s.Aborts[AbortKilled] != 1 {
+		t.Fatalf("killed aborts = %d, want 1", s.Aborts[AbortKilled])
+	}
+}
+
+// TestTimestampCMOlderWins pits one long transaction (many reads before
+// its write) against a stream of short writers under CMTimestamp. With
+// older-wins arbitration the long transaction must complete in a bounded
+// number of attempts; suicide CM under the same schedule starves it much
+// longer, which is exactly the behaviour the policy exists to fix.
+func TestTimestampCMOlderWins(t *testing.T) {
+	e := newTestEngine(t, cmConfig(CMTimestamp))
+	setup := e.MustAttachThread()
+	const words = 32
+	var base memory.Addr
+	setup.Atomic(func(tx *Tx) {
+		base = tx.Alloc(memory.DefaultSite, words)
+		for i := 0; i < words; i++ {
+			tx.Store(base+memory.Addr(i), 1)
+		}
+	})
+	e.DetachThread(setup)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			th := e.MustAttachThread()
+			defer e.DetachThread(th)
+			i := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				th.Atomic(func(tx *Tx) {
+					a := base + memory.Addr(i%words)
+					tx.Store(a, tx.Load(a))
+				})
+			}
+		}(w * 7)
+	}
+
+	long := e.MustAttachThread()
+	attempts := 0
+	long.Atomic(func(tx *Tx) {
+		attempts++
+		var s uint64
+		for i := 0; i < words; i++ {
+			s += tx.Load(base + memory.Addr(i))
+		}
+		tx.Store(base, s-uint64(words)+1) // keep the constant-sum invariant
+	})
+	e.DetachThread(long)
+	close(stop)
+	wg.Wait()
+	// The long transaction gets the oldest ordinal as soon as its first
+	// attempt predates the current short writers, so it must not need an
+	// unbounded number of attempts.
+	if attempts > 200 {
+		t.Fatalf("long transaction needed %d attempts under older-wins CM", attempts)
+	}
+}
+
+// TestBackoffCMRecordsWaitCycles verifies CMBackoff waits (rather than
+// aborting immediately) and accounts its waiting in the partition stats.
+func TestBackoffCMRecordsWaitCycles(t *testing.T) {
+	e := newTestEngine(t, cmConfig(CMBackoff))
+	setup := e.MustAttachThread()
+	var a memory.Addr
+	setup.Atomic(func(tx *Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 0)
+	})
+	e.DetachThread(setup)
+	var wg sync.WaitGroup
+	const workers, perW = 4, 400
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := e.MustAttachThread()
+			defer e.DetachThread(th)
+			for i := 0; i < perW; i++ {
+				th.Atomic(func(tx *Tx) { tx.Store(a, tx.Load(a)+1) })
+			}
+		}()
+	}
+	wg.Wait()
+	check := e.MustAttachThread()
+	check.Atomic(func(tx *Tx) {
+		if got := tx.Load(a); got != workers*perW {
+			t.Errorf("counter = %d, want %d", got, workers*perW)
+		}
+	})
+	s := e.StatsSnapshot(GlobalPartition)
+	if s.Commits < workers*perW {
+		t.Fatalf("commits = %d, want >= %d", s.Commits, workers*perW)
+	}
+}
+
+func TestOrecEncoding(t *testing.T) {
+	f := func(ts uint64) bool {
+		ts >>= 1 // version space is 63 bits
+		w := versionWord(ts)
+		return !isLocked(w) && versionOf(w) == ts
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(slot uint8) bool {
+		s := int(slot % MaxThreads)
+		w := lockWordFor(s)
+		return isLocked(w) && lockOwner(w) == s
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrecTableMapping(t *testing.T) {
+	tbl := newOrecTable(4, 2) // 16 orecs, 4 words per orec
+	if len(tbl.orecs) != 16 {
+		t.Fatalf("orecs = %d", len(tbl.orecs))
+	}
+	// Words 0..3 share an orec; word 4 uses the next one.
+	if tbl.of(0) != tbl.of(3) {
+		t.Fatal("granularity grouping broken")
+	}
+	if tbl.of(3) == tbl.of(4) {
+		t.Fatal("adjacent groups collide")
+	}
+	// Index wraps at table size.
+	if tbl.indexOf(0) != tbl.indexOf(memory.Addr(16*4)) {
+		t.Fatal("mask wrap broken")
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := PartConfig{Acquire: CommitTime, Write: WriteThrough, LockBits: 1, GranShift: 40}
+	n := c.Normalize()
+	if n.Write != WriteBack {
+		t.Error("CTL must force write-back")
+	}
+	if n.LockBits < 2 || n.LockBits > 24 {
+		t.Errorf("LockBits = %d", n.LockBits)
+	}
+	if n.GranShift > 16 {
+		t.Errorf("GranShift = %d", n.GranShift)
+	}
+	if n.SpinBudget <= 0 {
+		t.Errorf("SpinBudget = %d", n.SpinBudget)
+	}
+	if DefaultPartConfig().String() == "" {
+		t.Error("empty config string")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	// Exhaustive String() coverage, including out-of-range values.
+	for _, s := range []string{
+		InvisibleReads.String(), VisibleReads.String(), ReadMode(9).String(),
+		EncounterTime.String(), CommitTime.String(), AcquireMode(9).String(),
+		WriteBack.String(), WriteThrough.String(), WriteMode(9).String(),
+		CMSuicide.String(), CMSpin.String(), CMKarma.String(), CMAggressive.String(),
+		CMBackoff.String(), CMTimestamp.String(), CMPolicy(99).String(),
+		WriterKillsReaders.String(), WriterYieldsToReaders.String(), ReaderPolicy(9).String(),
+	} {
+		if s == "" {
+			t.Fatal("empty enum string")
+		}
+	}
+	for c := AbortCause(0); c <= AbortExplicit; c++ {
+		if c.String() == "" {
+			t.Fatalf("empty string for cause %d", c)
+		}
+	}
+	if AbortCause(200).String() == "" {
+		t.Fatal("empty string for unknown cause")
+	}
+}
+
+func TestWriteThroughVisibleCombination(t *testing.T) {
+	// WT + visible reads + writer-kills: heavy single-word contention.
+	cfg := DefaultPartConfig()
+	cfg.Read = VisibleReads
+	cfg.Write = WriteThrough
+	cfg.ReaderCM = WriterKillsReaders
+	e := newTestEngine(t, cfg)
+	setup := e.MustAttachThread()
+	var a memory.Addr
+	setup.Atomic(func(tx *Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 0)
+	})
+	e.DetachThread(setup)
+	var wg sync.WaitGroup
+	const workers, perW = 8, 800
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := e.MustAttachThread()
+			defer e.DetachThread(th)
+			for i := 0; i < perW; i++ {
+				th.Atomic(func(tx *Tx) { tx.Store(a, tx.Load(a)+1) })
+			}
+		}()
+	}
+	wg.Wait()
+	check := e.MustAttachThread()
+	check.Atomic(func(tx *Tx) {
+		if got := tx.Load(a); got != workers*perW {
+			t.Errorf("counter = %d, want %d", got, workers*perW)
+		}
+	})
+}

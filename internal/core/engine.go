@@ -1,0 +1,498 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/memory"
+)
+
+// PointerRecorder receives pointer-store events during profiling runs. The
+// partition analyzer implements it; the engine stays ignorant of how
+// partitions are derived.
+type PointerRecorder interface {
+	RecordPointer(from, to memory.SiteID)
+}
+
+// topology maps addresses to partitions. It is immutable; the engine swaps
+// in a new topology (under quiescence) when a partitioning plan is
+// installed.
+type topology struct {
+	// sitePart[s] is the partition owning allocation site s. Sites beyond
+	// the slice fall into GlobalPartition.
+	sitePart []PartID
+	parts    []*Partition
+}
+
+func (t *topology) partForSite(site memory.SiteID) *Partition {
+	if int(site) < len(t.sitePart) {
+		return t.parts[t.sitePart[site]]
+	}
+	return t.parts[GlobalPartition]
+}
+
+// Engine is the STM runtime: global clock, partitions, attached threads,
+// and the quiescence gate used for reconfiguration.
+type Engine struct {
+	arena      *memory.Arena
+	blockShift uint
+	blockSite  []memory.SiteID // arena's block→site table (shared slice)
+
+	clock atomic.Uint64
+
+	// gate, when nonzero, blocks new transaction attempts; reconfigurers
+	// raise it and wait for all threads to go inactive.
+	gate atomic.Uint32
+
+	topo atomic.Pointer[topology]
+
+	mu       sync.Mutex // serializes attach/detach and plan installs
+	threads  [MaxThreads]atomic.Pointer[Thread]
+	nthreads int
+	// retired accumulates the counters of detached threads so statistics
+	// survive thread churn; guarded by mu.
+	retired []PartStats
+
+	profiling atomic.Bool
+	profMu    sync.Mutex
+	profiler  PointerRecorder
+
+	// stwCount counts quiescent reconfigurations (exposed for tests and
+	// the tuner's trace).
+	stwCount atomic.Uint64
+
+	// txSeq issues begin ordinals for CMTimestamp arbitration.
+	txSeq atomic.Uint64
+
+	// tracer, when set, receives one event per transaction attempt
+	// outcome (commit or abort). One atomic pointer load per attempt when
+	// unset; see SetTracer.
+	tracer atomic.Pointer[txTracerBox]
+
+	// yieldMask, when nonzero, makes every transactional operation a
+	// potential scheduling point: a thread yields the processor with
+	// probability 1/(yieldMask+1) per operation. On machines with fewer
+	// cores than worker threads (notably the single-CPU hosts these
+	// experiments run on) this simulates the instruction-level
+	// interleaving of a real multiprocessor, so conflict windows inside
+	// transactions actually overlap. Benchmarks enable it; unit tests of
+	// the protocol logic run with it off.
+	yieldMask atomic.Uint64
+}
+
+// NewEngine creates an engine over arena with a single global partition
+// configured by cfg.
+func NewEngine(arena *memory.Arena, cfg PartConfig) *Engine {
+	e := &Engine{
+		arena:      arena,
+		blockShift: arena.BlockShift(),
+		blockSite:  arena.BlockSiteTable(),
+	}
+	global := newPartition(GlobalPartition, "global", cfg)
+	e.topo.Store(&topology{parts: []*Partition{global}})
+	e.clock.Store(1) // start at 1 so version 0 (fresh orecs) is always readable
+	return e
+}
+
+// Arena returns the transactional heap.
+func (e *Engine) Arena() *memory.Arena { return e.arena }
+
+// Clock returns the current global timestamp.
+func (e *Engine) Clock() uint64 { return e.clock.Load() }
+
+// AdvanceClock adds delta to the global clock; used by stress tests to
+// exercise large-timestamp behaviour.
+func (e *Engine) AdvanceClock(delta uint64) { e.clock.Add(delta) }
+
+// SetYieldEveryOps enables interleaving simulation: each transactional
+// operation yields the processor with probability 1/n (n must be a power
+// of two; 0 disables). See the yieldMask field for rationale.
+func (e *Engine) SetYieldEveryOps(n uint64) {
+	if n == 0 {
+		e.yieldMask.Store(0)
+		return
+	}
+	// Round up to a power of two and store the mask.
+	m := uint64(1)
+	for m < n {
+		m <<= 1
+	}
+	e.yieldMask.Store(m - 1)
+}
+
+// AttachThread registers the calling goroutine and returns its Thread.
+// At most MaxThreads threads may be attached simultaneously.
+func (e *Engine) AttachThread() (*Thread, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	slot := -1
+	for i := 0; i < MaxThreads; i++ {
+		if e.threads[i].Load() == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return nil, fmt.Errorf("core: all %d thread slots in use", MaxThreads)
+	}
+	th := &Thread{
+		eng:   e,
+		slot:  slot,
+		alloc: memory.NewAllocator(e.arena),
+		rng:   uint64(slot)*0x9E3779B97F4A7C15 + 0x1234567,
+		stats: make([]PartThreadStats, len(e.topo.Load().parts)),
+	}
+	th.tx.init(e, th)
+	e.threads[slot].Store(th)
+	e.nthreads++
+	return th, nil
+}
+
+// threadBySlot returns the thread occupying slot, or nil.
+func (e *Engine) threadBySlot(slot int) *Thread {
+	if slot < 0 || slot >= MaxThreads {
+		return nil
+	}
+	return e.threads[slot].Load()
+}
+
+// recordPointer forwards a pointer-store edge to the installed profiler.
+func (e *Engine) recordPointer(from, to memory.SiteID) {
+	e.profMu.Lock()
+	p := e.profiler
+	e.profMu.Unlock()
+	if p != nil {
+		p.RecordPointer(from, to)
+	}
+}
+
+// MustAttachThread is AttachThread that panics on slot exhaustion.
+func (e *Engine) MustAttachThread() *Thread {
+	th, err := e.AttachThread()
+	if err != nil {
+		panic(err)
+	}
+	return th
+}
+
+// DetachThread releases a thread's slot. The thread must not be inside a
+// transaction.
+func (e *Engine) DetachThread(th *Thread) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.threads[th.slot].Load() == th {
+		e.threads[th.slot].Store(nil)
+		e.nthreads--
+		for len(e.retired) < len(th.stats) {
+			e.retired = append(e.retired, PartStats{})
+		}
+		for p := range th.stats {
+			th.stats[p].accumulateInto(&e.retired[p])
+		}
+	}
+}
+
+// Partitions returns the current partition list (index = PartID).
+func (e *Engine) Partitions() []*Partition {
+	t := e.topo.Load()
+	out := make([]*Partition, len(t.parts))
+	copy(out, t.parts)
+	return out
+}
+
+// Partition returns the partition with the given id, or nil.
+func (e *Engine) Partition(id PartID) *Partition {
+	t := e.topo.Load()
+	if int(id) >= len(t.parts) {
+		return nil
+	}
+	return t.parts[id]
+}
+
+// partOf maps a word address to its partition: blockSite lookup then
+// site→partition lookup. Two L1-resident slice indexes; this is the whole
+// runtime cost of partition tracking on the access path (measured by the
+// table2 experiment).
+func (e *Engine) partOf(t *topology, addr memory.Addr) *Partition {
+	site := e.blockSite[uint64(addr)>>e.blockShift]
+	return t.partForSite(site)
+}
+
+// PartitionOfAddr reports which partition addr currently belongs to.
+func (e *Engine) PartitionOfAddr(addr memory.Addr) *Partition {
+	return e.partOf(e.topo.Load(), addr)
+}
+
+// SetProfiler installs the pointer-store recorder and enables or disables
+// profiling. Profiling runs record site connectivity for the partition
+// analyzer; measured runs disable it.
+func (e *Engine) SetProfiler(p PointerRecorder, enabled bool) {
+	e.profMu.Lock()
+	e.profiler = p
+	e.profMu.Unlock()
+	e.profiling.Store(enabled)
+}
+
+// Profiling reports whether pointer-store profiling is enabled.
+func (e *Engine) Profiling() bool { return e.profiling.Load() }
+
+// InstallPlan replaces the partitioning topology: sitePart[s] gives the
+// partition index for site s, and names/cfgs describe the partitions
+// (index = PartID; entry 0 is the global/default partition and must be
+// present). The swap happens under quiescence.
+func (e *Engine) InstallPlan(sitePart []PartID, names []string, cfgs []PartConfig) error {
+	if len(names) == 0 || len(cfgs) != len(names) {
+		return fmt.Errorf("core: malformed plan: %d names, %d configs", len(names), len(cfgs))
+	}
+	for _, p := range sitePart {
+		if int(p) >= len(names) {
+			return fmt.Errorf("core: plan references partition %d of %d", p, len(names))
+		}
+	}
+	parts := make([]*Partition, len(names))
+	for i := range names {
+		parts[i] = newPartition(PartID(i), names[i], cfgs[i])
+	}
+	sp := make([]PartID, len(sitePart))
+	copy(sp, sitePart)
+
+	e.quiesce(func() {
+		e.topo.Store(&topology{sitePart: sp, parts: parts})
+		for i := range e.threads {
+			if th := e.threads[i].Load(); th != nil {
+				th.stats = make([]PartThreadStats, len(parts))
+			}
+		}
+		e.mu.Lock()
+		e.retired = make([]PartStats, len(parts))
+		e.mu.Unlock()
+	})
+	return nil
+}
+
+// Reconfigure atomically replaces one partition's configuration (and its
+// orec table, rebuilt for the new geometry) under quiescence. This is the
+// tuner's actuation point.
+func (e *Engine) Reconfigure(id PartID, cfg PartConfig) error {
+	p := e.Partition(id)
+	if p == nil {
+		return fmt.Errorf("core: no partition %d", id)
+	}
+	cfg = cfg.Normalize()
+	e.quiesce(func() {
+		old := p.state.Load()
+		p.state.Store(&partState{
+			cfg:   cfg,
+			table: newOrecTable(cfg.LockBits, cfg.GranShift),
+			gen:   old.gen + 1,
+		})
+	})
+	return nil
+}
+
+// quiesce raises the gate, waits for every attached thread to leave its
+// transaction, runs fn, and reopens the gate. New orec tables installed
+// by fn start with all versions at 0, which is safe because fresh
+// transactions take snapshots at or above the current clock and version 0
+// never exceeds any snapshot.
+func (e *Engine) quiesce(fn func()) {
+	for !e.gate.CompareAndSwap(0, 1) {
+		runtime.Gosched() // another reconfiguration in flight
+	}
+	for i := range e.threads {
+		th := e.threads[i].Load()
+		if th == nil {
+			continue
+		}
+		for th.active.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+	fn()
+	e.stwCount.Add(1)
+	e.gate.Store(0)
+}
+
+// STWCount returns the number of quiescent reconfigurations performed.
+func (e *Engine) STWCount() uint64 { return e.stwCount.Load() }
+
+// StatsSnapshot aggregates per-thread counters for partition id. Counters
+// are atomics incremented by their owning threads; the aggregate is a
+// momentary view, and every counter is monotonic, so deltas between
+// snapshots are exact in the long run — which is what the tuner consumes.
+func (e *Engine) StatsSnapshot(id PartID) PartStats {
+	p := e.Partition(id)
+	out := PartStats{Part: id}
+	if p != nil {
+		out.Name = p.name
+	}
+	e.mu.Lock()
+	if int(id) < len(e.retired) {
+		r := e.retired[id]
+		out.Loads += r.Loads
+		out.Stores += r.Stores
+		out.Commits += r.Commits
+		out.UpdateCommits += r.UpdateCommits
+		out.ROCommits += r.ROCommits
+		out.WaitCycles += r.WaitCycles
+		for i := range r.Aborts {
+			out.Aborts[i] += r.Aborts[i]
+		}
+	}
+	e.mu.Unlock()
+	for i := range e.threads {
+		th := e.threads[i].Load()
+		if th == nil || int(id) >= len(th.stats) {
+			continue
+		}
+		th.stats[id].accumulateInto(&out)
+	}
+	return out
+}
+
+// AllStats returns a snapshot for every partition.
+func (e *Engine) AllStats() []PartStats {
+	t := e.topo.Load()
+	out := make([]PartStats, len(t.parts))
+	for i := range t.parts {
+		out[i] = e.StatsSnapshot(PartID(i))
+	}
+	return out
+}
+
+// Atomic runs fn transactionally on thread th, retrying with randomized
+// exponential backoff until the transaction commits.
+func (e *Engine) Atomic(th *Thread, fn func(*Tx)) {
+	e.run(th, false, func(tx *Tx) error { fn(tx); return nil })
+}
+
+// AtomicErr runs fn transactionally; if fn returns a non-nil error the
+// transaction aborts (all effects discarded) and the error is returned.
+func (e *Engine) AtomicErr(th *Thread, fn func(*Tx) error) error {
+	return e.run(th, false, fn)
+}
+
+// readOnlyAtomic runs fn with the read-only fast path; it upgrades to an
+// update transaction transparently if fn writes.
+func (e *Engine) readOnlyAtomic(th *Thread, fn func(*Tx)) {
+	e.run(th, true, func(tx *Tx) error { fn(tx); return nil })
+}
+
+func (e *Engine) run(th *Thread, readOnly bool, fn func(*Tx) error) error {
+	tx := &th.tx
+	th.beginSeq.Store(e.txSeq.Add(1))
+	attempt := 0
+	for {
+		attempt++
+		th.enterGate()
+		cause, userErr := e.attempt(tx, th, readOnly, fn)
+		th.exitGate()
+		if box := e.tracer.Load(); box != nil {
+			box.t.TraceAttempt(AttemptEvent{
+				Slot:    th.slot,
+				Attempt: attempt,
+				Cause:   cause,
+				Ops:     tx.opCount,
+			})
+		}
+		switch {
+		case cause == AbortNone && userErr == nil:
+			return nil
+		case userErr != nil:
+			return userErr
+		case cause == AbortUpgrade:
+			readOnly = false
+			continue
+		}
+		e.backoff(th, attempt)
+	}
+}
+
+// attempt executes one try of fn. It returns (AbortNone, nil) on commit,
+// (cause, nil) on a conflict abort, and (AbortExplicit, err) when user
+// code aborted with an error.
+func (e *Engine) attempt(tx *Tx, th *Thread, readOnly bool, fn func(*Tx) error) (cause AbortCause, userErr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sig, ok := r.(abortSignal)
+			if !ok {
+				// A user panic: roll the transaction back, then let the
+				// panic continue so the caller sees it.
+				tx.rollback(AbortExplicit)
+				panic(r)
+			}
+			tx.rollback(sig.cause)
+			cause = sig.cause
+		}
+	}()
+	tx.begin(readOnly)
+	if err := fn(tx); err != nil {
+		tx.rollback(AbortExplicit)
+		return AbortExplicit, err
+	}
+	tx.commit()
+	return AbortNone, nil
+}
+
+// AttemptEvent describes one transaction attempt outcome for tracing.
+type AttemptEvent struct {
+	// Slot is the executing thread's slot.
+	Slot int
+	// Attempt is 1 for the first try of a transaction, 2 for its first
+	// retry, and so on.
+	Attempt int
+	// Cause is AbortNone for a commit, the abort cause otherwise.
+	Cause AbortCause
+	// Ops is the number of transactional operations the attempt executed.
+	Ops uint64
+}
+
+// TxTracer receives one event per transaction attempt. Implementations
+// must be safe for concurrent use and should be cheap: the engine calls
+// TraceAttempt inline on every attempt of every thread while tracing is
+// enabled.
+type TxTracer interface {
+	TraceAttempt(ev AttemptEvent)
+}
+
+// txTracerBox wraps the interface so the engine can store it in an
+// atomic.Pointer (interfaces are two words and not directly atomic).
+type txTracerBox struct{ t TxTracer }
+
+// SetTracer installs (or, with nil, removes) the attempt tracer.
+func (e *Engine) SetTracer(t TxTracer) {
+	if t == nil {
+		e.tracer.Store(nil)
+		return
+	}
+	e.tracer.Store(&txTracerBox{t: t})
+}
+
+// backoff performs randomized exponential backoff between attempts; the
+// schedule matches TinySTM's (cheap spin first, escalating to yields and
+// short sleeps so that pathological livelocks settle).
+func (e *Engine) backoff(th *Thread, attempt int) {
+	if attempt < 2 {
+		return
+	}
+	shift := attempt - 2
+	if shift > 14 {
+		shift = 14
+	}
+	max := uint64(1) << shift // in ~64ns spin quanta
+	spins := th.nextRand() % max
+	if spins < 16 {
+		for i := uint64(0); i < spins*8; i++ {
+			_ = i
+		}
+		return
+	}
+	if spins < 512 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(time.Duration(spins>>3) * time.Microsecond)
+}

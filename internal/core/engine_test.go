@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// newTestEngine builds an engine over a fresh arena with the global
+// partition configured by cfg.
+func newTestEngine(t testing.TB, cfg PartConfig) *Engine {
+	t.Helper()
+	arena, err := memory.NewArena(memory.Config{CapacityWords: 1 << 20, BlockShift: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(arena, cfg)
+}
+
+// allModeConfigs enumerates the meaningful (read, acquire, write) mode
+// combinations; the protocol tests run under each.
+func allModeConfigs() map[string]PartConfig {
+	out := make(map[string]PartConfig)
+	for _, read := range []ReadMode{InvisibleReads, VisibleReads} {
+		for _, mode := range []struct {
+			acq AcquireMode
+			wr  WriteMode
+		}{
+			{EncounterTime, WriteBack},
+			{EncounterTime, WriteThrough},
+			{CommitTime, WriteBack},
+		} {
+			cfg := DefaultPartConfig()
+			cfg.Read = read
+			cfg.Acquire = mode.acq
+			cfg.Write = mode.wr
+			cfg.LockBits = 10
+			name := fmt.Sprintf("%s-%s-%s", read, mode.acq, mode.wr)
+			out[name] = cfg
+		}
+	}
+	return out
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	for name, cfg := range allModeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			e := newTestEngine(t, cfg)
+			th := e.MustAttachThread()
+			var a memory.Addr
+			th.Atomic(func(tx *Tx) {
+				a = tx.Alloc(memory.DefaultSite, 4)
+				tx.Store(a, 11)
+				tx.Store(a+1, 22)
+				if got := tx.Load(a); got != 11 {
+					t.Errorf("read-after-write = %d, want 11", got)
+				}
+				tx.Store(a, 33) // overwrite in same tx
+			})
+			th.Atomic(func(tx *Tx) {
+				if got := tx.Load(a); got != 33 {
+					t.Errorf("Load(a) = %d, want 33", got)
+				}
+				if got := tx.Load(a + 1); got != 22 {
+					t.Errorf("Load(a+1) = %d, want 22", got)
+				}
+			})
+		})
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	for name, cfg := range allModeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			e := newTestEngine(t, cfg)
+			th := e.MustAttachThread()
+			var a memory.Addr
+			th.Atomic(func(tx *Tx) {
+				a = tx.Alloc(memory.DefaultSite, 1)
+				tx.Store(a, 100)
+			})
+			err := th.AtomicErr(func(tx *Tx) error {
+				tx.Store(a, 999)
+				return fmt.Errorf("boom")
+			})
+			if err == nil || err.Error() != "boom" {
+				t.Fatalf("AtomicErr = %v, want boom", err)
+			}
+			th.Atomic(func(tx *Tx) {
+				if got := tx.Load(a); got != 100 {
+					t.Errorf("aborted write leaked: %d", got)
+				}
+			})
+		})
+	}
+}
+
+func TestUserPanicRollsBackAndPropagates(t *testing.T) {
+	cfg := DefaultPartConfig()
+	cfg.Write = WriteThrough
+	e := newTestEngine(t, cfg)
+	th := e.MustAttachThread()
+	var a memory.Addr
+	th.Atomic(func(tx *Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 5)
+	})
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("user panic swallowed")
+			}
+		}()
+		th.Atomic(func(tx *Tx) {
+			tx.Store(a, 6)
+			panic("user bug")
+		})
+	}()
+	th.Atomic(func(tx *Tx) {
+		if got := tx.Load(a); got != 5 {
+			t.Errorf("write-through undo failed: %d", got)
+		}
+	})
+	// The engine must still be usable (locks released).
+	th.Atomic(func(tx *Tx) { tx.Store(a, 7) })
+}
+
+func TestReadOnlyUpgrade(t *testing.T) {
+	e := newTestEngine(t, DefaultPartConfig())
+	th := e.MustAttachThread()
+	var a memory.Addr
+	th.Atomic(func(tx *Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 1)
+	})
+	attempts := 0
+	th.ReadOnlyAtomic(func(tx *Tx) {
+		attempts++
+		tx.Store(a, tx.Load(a)+1) // forces an upgrade on the first attempt
+	})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (RO attempt + upgraded attempt)", attempts)
+	}
+	th.Atomic(func(tx *Tx) {
+		if got := tx.Load(a); got != 2 {
+			t.Errorf("value = %d, want 2", got)
+		}
+	})
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	for name, cfg := range allModeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			e := newTestEngine(t, cfg)
+			setup := e.MustAttachThread()
+			var a memory.Addr
+			setup.Atomic(func(tx *Tx) {
+				a = tx.Alloc(memory.DefaultSite, 1)
+				tx.Store(a, 0)
+			})
+			e.DetachThread(setup)
+
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := e.MustAttachThread()
+					defer e.DetachThread(th)
+					for i := 0; i < perG; i++ {
+						th.Atomic(func(tx *Tx) {
+							tx.Store(a, tx.Load(a)+1)
+						})
+					}
+				}()
+			}
+			wg.Wait()
+
+			check := e.MustAttachThread()
+			check.Atomic(func(tx *Tx) {
+				if got := tx.Load(a); got != goroutines*perG {
+					t.Errorf("counter = %d, want %d", got, goroutines*perG)
+				}
+			})
+		})
+	}
+}
+
+// TestSnapshotConsistency keeps the sum of an array constant under
+// concurrent transfers and checks that read-only transactions never see a
+// broken sum — the fundamental opacity/serializability property.
+func TestSnapshotConsistency(t *testing.T) {
+	const (
+		slots    = 32
+		initial  = 1000
+		writers  = 4
+		readers  = 3
+		transfer = 3000
+	)
+	for name, cfg := range allModeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			e := newTestEngine(t, cfg)
+			setup := e.MustAttachThread()
+			var base memory.Addr
+			setup.Atomic(func(tx *Tx) {
+				base = tx.Alloc(memory.DefaultSite, slots)
+				for i := 0; i < slots; i++ {
+					tx.Store(base+memory.Addr(i), initial)
+				}
+			})
+			e.DetachThread(setup)
+
+			var writerWG, readerWG sync.WaitGroup
+			stop := make(chan struct{})
+			for w := 0; w < writers; w++ {
+				writerWG.Add(1)
+				go func(seed uint64) {
+					defer writerWG.Done()
+					th := e.MustAttachThread()
+					defer e.DetachThread(th)
+					rng := seed*2654435761 + 1
+					for i := 0; i < transfer; i++ {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						from := memory.Addr(rng % slots)
+						to := memory.Addr((rng >> 8) % slots)
+						th.Atomic(func(tx *Tx) {
+							v := tx.Load(base + from)
+							if v == 0 {
+								return
+							}
+							tx.Store(base+from, v-1)
+							tx.Store(base+to, tx.Load(base+to)+1)
+						})
+					}
+				}(uint64(w) + 1)
+			}
+			errs := make(chan error, readers)
+			for r := 0; r < readers; r++ {
+				readerWG.Add(1)
+				go func() {
+					defer readerWG.Done()
+					th := e.MustAttachThread()
+					defer e.DetachThread(th)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						var sum uint64
+						th.ReadOnlyAtomic(func(tx *Tx) {
+							sum = 0
+							for i := 0; i < slots; i++ {
+								sum += tx.Load(base + memory.Addr(i))
+							}
+						})
+						if sum != slots*initial {
+							select {
+							case errs <- fmt.Errorf("inconsistent sum %d, want %d", sum, slots*initial):
+							default:
+							}
+							return
+						}
+					}
+				}()
+			}
+			writerWG.Wait()
+			close(stop)
+			readerWG.Wait()
+			select {
+			case err := <-errs:
+				t.Fatal(err)
+			default:
+			}
+		})
+	}
+}

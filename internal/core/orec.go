@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/memory"
+)
+
+// orec is an ownership record: one entry of a partition's lock array.
+//
+// The lock word encodes, TinySTM-style:
+//
+//	unlocked: version<<1        (version = global-clock timestamp of the
+//	                             last commit that wrote a word mapping here)
+//	locked:   ownerSlot<<1 | 1  (ownerSlot = thread slot of the writer)
+//
+// The readers word is the visible-reader bitmap: bit i set means the
+// thread in slot i currently holds a visible read on this orec. It is
+// only used by partitions configured with VisibleReads, but the space is
+// always present so a partition can switch visibility without changing
+// table layout.
+//
+// The struct is padded to a 64-byte cache line to avoid false sharing
+// between adjacent orecs.
+type orec struct {
+	lock    atomic.Uint64
+	readers atomic.Uint64
+	_       [6]uint64 // pad to 64 bytes
+}
+
+const lockedBit uint64 = 1
+
+func isLocked(l uint64) bool { return l&lockedBit != 0 }
+
+// lockOwner returns the thread slot encoded in a locked lock word.
+func lockOwner(l uint64) int { return int(l >> 1) }
+
+// lockWordFor encodes a locked lock word owned by slot.
+func lockWordFor(slot int) uint64 { return uint64(slot)<<1 | lockedBit }
+
+// versionOf returns the timestamp encoded in an unlocked lock word.
+func versionOf(l uint64) uint64 { return l >> 1 }
+
+// versionWord encodes an unlocked lock word carrying version ts.
+func versionWord(ts uint64) uint64 { return ts << 1 }
+
+// orecTable is one partition's lock array. Tables are immutable once
+// published (the tuner swaps in a whole new table during quiescence when
+// it changes LockBits or GranShift).
+type orecTable struct {
+	orecs     []orec
+	mask      uint64
+	granShift uint
+}
+
+func newOrecTable(lockBits, granShift uint) *orecTable {
+	n := uint64(1) << lockBits
+	return &orecTable{
+		orecs:     make([]orec, n),
+		mask:      n - 1,
+		granShift: granShift,
+	}
+}
+
+// of maps a word address to its ownership record.
+func (t *orecTable) of(addr memory.Addr) *orec {
+	return &t.orecs[(uint64(addr)>>t.granShift)&t.mask]
+}
+
+// indexOf returns the orec index for addr (used by tests and by
+// commit-time deduplication).
+func (t *orecTable) indexOf(addr memory.Addr) uint64 {
+	return (uint64(addr) >> t.granShift) & t.mask
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// PartID identifies a partition. Partition 0 always exists and is the
+// default ("global") partition: with no partitioning plan installed, every
+// address maps to it and the engine degenerates to a classic single-table
+// STM — that configuration is the paper's baseline.
+type PartID uint32
+
+// GlobalPartition is the id of the default partition.
+const GlobalPartition PartID = 0
+
+// partState bundles a partition's configuration with the orec table built
+// for it. Config and table are swapped together, atomically, during
+// quiescent reconfiguration, so a transaction always sees a matching pair.
+type partState struct {
+	cfg   PartConfig
+	table *orecTable
+	gen   uint64 // configuration generation, bumped on every reconfigure
+}
+
+// Partition is one unit of independent concurrency control.
+type Partition struct {
+	id    PartID
+	name  string
+	state atomic.Pointer[partState]
+}
+
+func newPartition(id PartID, name string, cfg PartConfig) *Partition {
+	p := &Partition{id: id, name: name}
+	cfg = cfg.Normalize()
+	p.state.Store(&partState{
+		cfg:   cfg,
+		table: newOrecTable(cfg.LockBits, cfg.GranShift),
+		gen:   0,
+	})
+	return p
+}
+
+// ID returns the partition's identifier.
+func (p *Partition) ID() PartID { return p.id }
+
+// Name returns the partition's human-readable name.
+func (p *Partition) Name() string { return p.name }
+
+// Config returns the partition's current configuration.
+func (p *Partition) Config() PartConfig { return p.state.Load().cfg }
+
+// Generation returns the configuration generation (number of
+// reconfigurations applied).
+func (p *Partition) Generation() uint64 { return p.state.Load().gen }
+
+// loadState returns the current state; stable for the duration of a
+// transaction because reconfiguration only happens while no transaction
+// is active (see Engine.Reconfigure).
+func (p *Partition) loadState() *partState { return p.state.Load() }

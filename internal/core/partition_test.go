@@ -1,0 +1,353 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/memory"
+)
+
+func TestInstallPlanRoutesSitesToPartitions(t *testing.T) {
+	e := newTestEngine(t, DefaultPartConfig())
+	sites := e.Arena().Sites()
+	sA := sites.Register("a")
+	sB := sites.Register("b")
+
+	sitePart := make([]PartID, sites.Count())
+	sitePart[sA] = 1
+	sitePart[sB] = 2
+	cfgA := DefaultPartConfig()
+	cfgA.Read = VisibleReads
+	if err := e.InstallPlan(sitePart,
+		[]string{"global", "partA", "partB"},
+		[]PartConfig{DefaultPartConfig(), cfgA, DefaultPartConfig()}); err != nil {
+		t.Fatal(err)
+	}
+
+	th := e.MustAttachThread()
+	var aA, aB, aD memory.Addr
+	th.Atomic(func(tx *Tx) {
+		aA = tx.Alloc(sA, 2)
+		aB = tx.Alloc(sB, 2)
+		aD = tx.Alloc(memory.DefaultSite, 2)
+		tx.Store(aA, 1)
+		tx.Store(aB, 2)
+		tx.Store(aD, 3)
+	})
+	if p := e.PartitionOfAddr(aA); p.ID() != 1 || p.Name() != "partA" {
+		t.Fatalf("aA in partition %d (%s)", p.ID(), p.Name())
+	}
+	if p := e.PartitionOfAddr(aB); p.ID() != 2 {
+		t.Fatalf("aB in partition %d", p.ID())
+	}
+	if p := e.PartitionOfAddr(aD); p.ID() != GlobalPartition {
+		t.Fatalf("aD in partition %d", p.ID())
+	}
+	if got := e.Partition(1).Config().Read; got != VisibleReads {
+		t.Fatalf("partA read mode = %v", got)
+	}
+}
+
+func TestInstallPlanValidation(t *testing.T) {
+	e := newTestEngine(t, DefaultPartConfig())
+	if err := e.InstallPlan(nil, nil, nil); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+	if err := e.InstallPlan([]PartID{5}, []string{"g"}, []PartConfig{DefaultPartConfig()}); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+	if err := e.InstallPlan(nil, []string{"g", "x"}, []PartConfig{DefaultPartConfig()}); err == nil {
+		t.Fatal("mismatched names/configs accepted")
+	}
+}
+
+func TestCrossPartitionAtomicity(t *testing.T) {
+	// A transfer between two partitions with different configurations must
+	// stay atomic: the sum across partitions is invariant.
+	e := newTestEngine(t, DefaultPartConfig())
+	sites := e.Arena().Sites()
+	sA := sites.Register("xa")
+	sB := sites.Register("xb")
+	sitePart := make([]PartID, sites.Count())
+	sitePart[sA] = 1
+	sitePart[sB] = 2
+	cfgVis := DefaultPartConfig()
+	cfgVis.Read = VisibleReads
+	cfgCTL := DefaultPartConfig()
+	cfgCTL.Acquire = CommitTime
+	if err := e.InstallPlan(sitePart, []string{"g", "vis", "ctl"},
+		[]PartConfig{DefaultPartConfig(), cfgVis, cfgCTL}); err != nil {
+		t.Fatal(err)
+	}
+
+	setup := e.MustAttachThread()
+	var accA, accB memory.Addr
+	setup.Atomic(func(tx *Tx) {
+		accA = tx.Alloc(sA, 1)
+		accB = tx.Alloc(sB, 1)
+		tx.Store(accA, 10000)
+		tx.Store(accB, 10000)
+	})
+	e.DetachThread(setup)
+
+	const workers = 6
+	const iters = 2000
+	var wg sync.WaitGroup
+	var inconsistent atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := e.MustAttachThread()
+			defer e.DetachThread(th)
+			for i := 0; i < iters; i++ {
+				if id%2 == 0 {
+					th.Atomic(func(tx *Tx) {
+						a := tx.Load(accA)
+						if a == 0 {
+							return
+						}
+						tx.Store(accA, a-1)
+						tx.Store(accB, tx.Load(accB)+1)
+					})
+				} else {
+					th.Atomic(func(tx *Tx) {
+						sum := tx.Load(accA) + tx.Load(accB)
+						if sum != 20000 {
+							inconsistent.Add(1)
+						}
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := inconsistent.Load(); n != 0 {
+		t.Fatalf("%d transactions observed a broken cross-partition sum", n)
+	}
+	var final uint64
+	check := e.MustAttachThread()
+	check.Atomic(func(tx *Tx) { final = tx.Load(accA) + tx.Load(accB) })
+	if final != 20000 {
+		t.Fatalf("final sum = %d, want 20000", final)
+	}
+}
+
+func TestReconfigureUnderLoad(t *testing.T) {
+	// Flip the global partition between configurations while workers hammer
+	// a counter; the count must be exact and the engine must not deadlock.
+	e := newTestEngine(t, DefaultPartConfig())
+	setup := e.MustAttachThread()
+	var a memory.Addr
+	setup.Atomic(func(tx *Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 0)
+	})
+	e.DetachThread(setup)
+
+	const workers = 4
+	const perW = 3000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := e.MustAttachThread()
+			defer e.DetachThread(th)
+			for i := 0; i < perW; i++ {
+				th.Atomic(func(tx *Tx) { tx.Store(a, tx.Load(a)+1) })
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var reconfigs int
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		cfgs := []PartConfig{}
+		for _, c := range allModeConfigs() {
+			cfgs = append(cfgs, c)
+		}
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := e.Reconfigure(GlobalPartition, cfgs[i%len(cfgs)]); err != nil {
+				t.Errorf("Reconfigure: %v", err)
+				return
+			}
+			reconfigs++
+			i++
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+
+	if reconfigs == 0 {
+		t.Fatal("no reconfigurations happened during the test")
+	}
+	if got := e.STWCount(); got == 0 {
+		t.Fatal("STWCount = 0")
+	}
+	check := e.MustAttachThread()
+	check.Atomic(func(tx *Tx) {
+		if got := tx.Load(a); got != workers*perW {
+			t.Errorf("counter = %d, want %d (lost updates across reconfiguration)", got, workers*perW)
+		}
+	})
+}
+
+func TestReconfigureUnknownPartition(t *testing.T) {
+	e := newTestEngine(t, DefaultPartConfig())
+	if err := e.Reconfigure(42, DefaultPartConfig()); err == nil {
+		t.Fatal("Reconfigure of unknown partition succeeded")
+	}
+}
+
+func TestGenerationAdvances(t *testing.T) {
+	e := newTestEngine(t, DefaultPartConfig())
+	p := e.Partition(GlobalPartition)
+	g0 := p.Generation()
+	cfg := p.Config()
+	cfg.LockBits = 8
+	if err := e.Reconfigure(GlobalPartition, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if p.Generation() != g0+1 {
+		t.Fatalf("generation %d -> %d, want +1", g0, p.Generation())
+	}
+	if p.Config().LockBits != 8 {
+		t.Fatalf("LockBits = %d after reconfigure", p.Config().LockBits)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	e := newTestEngine(t, DefaultPartConfig())
+	th := e.MustAttachThread()
+	var a memory.Addr
+	th.Atomic(func(tx *Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 0)
+	})
+	for i := 0; i < 10; i++ {
+		th.Atomic(func(tx *Tx) { tx.Store(a, tx.Load(a)+1) })
+	}
+	for i := 0; i < 5; i++ {
+		th.ReadOnlyAtomic(func(tx *Tx) { tx.Load(a) })
+	}
+	s := e.StatsSnapshot(GlobalPartition)
+	if s.Commits != 16 {
+		t.Errorf("Commits = %d, want 16", s.Commits)
+	}
+	if s.UpdateCommits != 11 {
+		t.Errorf("UpdateCommits = %d, want 11", s.UpdateCommits)
+	}
+	if s.ROCommits != 5 {
+		t.Errorf("ROCommits = %d, want 5", s.ROCommits)
+	}
+	if s.Loads < 15 {
+		t.Errorf("Loads = %d, want >= 15", s.Loads)
+	}
+	if s.Stores != 11 {
+		t.Errorf("Stores = %d, want 11", s.Stores)
+	}
+	if s.UpdateRatio() <= 0.5 {
+		t.Errorf("UpdateRatio = %v", s.UpdateRatio())
+	}
+	all := e.AllStats()
+	if len(all) != 1 || all[0].Commits != s.Commits {
+		t.Errorf("AllStats mismatch: %+v", all)
+	}
+}
+
+func TestStatsDelta(t *testing.T) {
+	a := PartStats{Commits: 10, Loads: 100}
+	a.Aborts[AbortValidation] = 4
+	b := PartStats{Commits: 25, Loads: 180}
+	b.Aborts[AbortValidation] = 9
+	d := b.Sub(a)
+	if d.Commits != 15 || d.Loads != 80 || d.Aborts[AbortValidation] != 5 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.TotalAborts() != 5 {
+		t.Fatalf("TotalAborts = %d", d.TotalAborts())
+	}
+	if r := d.AbortRate(); r < 0.24 || r > 0.26 {
+		t.Fatalf("AbortRate = %v", r)
+	}
+}
+
+func TestAdvanceClockStress(t *testing.T) {
+	// Jump the clock far ahead; transactions must keep working (snapshot
+	// extension against large timestamps).
+	e := newTestEngine(t, DefaultPartConfig())
+	th := e.MustAttachThread()
+	var a memory.Addr
+	th.Atomic(func(tx *Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 1)
+	})
+	e.AdvanceClock(1 << 40)
+	th.Atomic(func(tx *Tx) { tx.Store(a, tx.Load(a)+1) })
+	th.Atomic(func(tx *Tx) {
+		if got := tx.Load(a); got != 2 {
+			t.Errorf("value = %d", got)
+		}
+	})
+	if e.Clock() < 1<<40 {
+		t.Fatalf("clock = %d", e.Clock())
+	}
+}
+
+func TestThreadSlotExhaustionAndReuse(t *testing.T) {
+	e := newTestEngine(t, DefaultPartConfig())
+	var ths []*Thread
+	for i := 0; i < MaxThreads; i++ {
+		ths = append(ths, e.MustAttachThread())
+	}
+	if _, err := e.AttachThread(); err == nil {
+		t.Fatal("65th attach succeeded")
+	}
+	e.DetachThread(ths[10])
+	th, err := e.AttachThread()
+	if err != nil {
+		t.Fatalf("reattach after detach: %v", err)
+	}
+	if th.Slot() != 10 {
+		t.Fatalf("reused slot = %d, want 10", th.Slot())
+	}
+}
+
+func TestExplicitAbortRetries(t *testing.T) {
+	e := newTestEngine(t, DefaultPartConfig())
+	th := e.MustAttachThread()
+	var a memory.Addr
+	th.Atomic(func(tx *Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 0)
+	})
+	tries := 0
+	th.Atomic(func(tx *Tx) {
+		tries++
+		if tries < 3 {
+			tx.Abort()
+		}
+		tx.Store(a, uint64(tries))
+	})
+	if tries != 3 {
+		t.Fatalf("tries = %d, want 3", tries)
+	}
+	th.Atomic(func(tx *Tx) {
+		if got := tx.Load(a); got != 3 {
+			t.Errorf("value = %d, want 3", got)
+		}
+	})
+}

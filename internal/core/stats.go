@@ -1,0 +1,93 @@
+package core
+
+import "sync/atomic"
+
+// PartThreadStats are one thread's counters for one partition. They are
+// incremented only by the owning thread (so the atomic adds stay on a
+// local cache line and are cheap) and read by the tuner's snapshot
+// aggregation, which may run concurrently — hence atomics, not plain
+// words.
+type PartThreadStats struct {
+	Loads   atomic.Uint64
+	Stores  atomic.Uint64
+	Commits atomic.Uint64
+	// UpdateCommits counts committed transactions that wrote at least one
+	// word of this partition.
+	UpdateCommits atomic.Uint64
+	// ROCommits counts committed transactions that only read this
+	// partition.
+	ROCommits atomic.Uint64
+	Aborts    [NumAbortCauses]atomic.Uint64
+	// WaitCycles approximates time spent spinning on this partition's
+	// orecs (CM wait-loop iterations).
+	WaitCycles atomic.Uint64
+}
+
+// accumulateInto adds this block's current counter values into out.
+func (s *PartThreadStats) accumulateInto(out *PartStats) {
+	out.Loads += s.Loads.Load()
+	out.Stores += s.Stores.Load()
+	out.Commits += s.Commits.Load()
+	out.UpdateCommits += s.UpdateCommits.Load()
+	out.ROCommits += s.ROCommits.Load()
+	out.WaitCycles += s.WaitCycles.Load()
+	for i := range s.Aborts {
+		out.Aborts[i] += s.Aborts[i].Load()
+	}
+}
+
+// PartStats is an aggregated view of one partition's counters.
+type PartStats struct {
+	Part          PartID
+	Name          string
+	Loads         uint64
+	Stores        uint64
+	Commits       uint64
+	UpdateCommits uint64
+	ROCommits     uint64
+	Aborts        [NumAbortCauses]uint64
+	WaitCycles    uint64
+}
+
+// TotalAborts sums all abort causes.
+func (s *PartStats) TotalAborts() uint64 {
+	var t uint64
+	for _, a := range s.Aborts {
+		t += a
+	}
+	return t
+}
+
+// AbortRate returns aborts/(commits+aborts), or 0 when idle.
+func (s *PartStats) AbortRate() float64 {
+	a, c := s.TotalAborts(), s.Commits
+	if a+c == 0 {
+		return 0
+	}
+	return float64(a) / float64(a+c)
+}
+
+// UpdateRatio returns the fraction of committed transactions touching the
+// partition that wrote to it.
+func (s *PartStats) UpdateRatio() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.UpdateCommits) / float64(s.Commits)
+}
+
+// Sub returns s - old, counter-wise; used by the tuner to derive per-epoch
+// deltas from monotonic totals.
+func (s PartStats) Sub(old PartStats) PartStats {
+	d := s
+	d.Loads -= old.Loads
+	d.Stores -= old.Stores
+	d.Commits -= old.Commits
+	d.UpdateCommits -= old.UpdateCommits
+	d.ROCommits -= old.ROCommits
+	d.WaitCycles -= old.WaitCycles
+	for i := range d.Aborts {
+		d.Aborts[i] -= old.Aborts[i]
+	}
+	return d
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/memory"
+)
+
+// MaxThreads is the maximum number of concurrently attached threads. The
+// bound comes from the visible-reader bitmap: one bit per thread slot in a
+// 64-bit word, exactly as in reader-bitmap STM designs.
+const MaxThreads = 64
+
+// Thread is a per-goroutine transaction context. Each worker goroutine
+// attaches once, runs transactions through Engine.Atomic, and detaches
+// when done. A Thread must not be shared across goroutines.
+type Thread struct {
+	eng  *Engine
+	slot int
+
+	alloc *memory.Allocator
+
+	// killed is set by other threads' contention managers; polled at every
+	// transactional operation and at commit.
+	killed atomic.Uint32
+	// active is 1 while the thread is inside a transaction attempt; the
+	// quiescence gate waits on it.
+	active atomic.Uint32
+	// progress exports accumulated work of the current attempt for karma
+	// arbitration.
+	progress atomic.Uint64
+	// beginSeq is the transaction's begin ordinal, assigned once per
+	// top-level transaction (not per attempt) so that CMTimestamp's
+	// older-wins arbitration gives long-retrying transactions priority.
+	beginSeq atomic.Uint64
+
+	// stats[p] are this thread's counters for partition p. The slice is
+	// grown by the engine (under the registry lock, during quiescence or
+	// setup) when partitions are added.
+	stats []PartThreadStats
+
+	rng uint64 // xorshift state for backoff jitter
+
+	tx Tx // reusable transaction descriptor
+}
+
+// Slot returns the thread's slot index (0..MaxThreads-1).
+func (th *Thread) Slot() int { return th.slot }
+
+// Engine returns the engine this thread is attached to.
+func (th *Thread) Engine() *Engine { return th.eng }
+
+// Allocator returns the thread-local heap allocator.
+func (th *Thread) Allocator() *memory.Allocator { return th.alloc }
+
+// readerBit returns this thread's bit in visible-reader bitmaps.
+func (th *Thread) readerBit() uint64 { return uint64(1) << uint(th.slot) }
+
+// kill asks the thread to abort its current transaction attempt. Safe to
+// call from any thread; the target polls the flag at its next STM
+// operation or at commit.
+func (th *Thread) kill() { th.killed.Store(1) }
+
+// nextRand is a small xorshift64* generator for backoff jitter.
+func (th *Thread) nextRand() uint64 {
+	x := th.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	th.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// enterGate marks the thread active, honoring the engine's quiescence
+// gate: if a reconfiguration is pending, the thread parks until the gate
+// reopens. The store-then-check order pairs with the gate-then-wait order
+// in Engine.quiesce (sequentially consistent atomics).
+func (th *Thread) enterGate() {
+	for {
+		th.active.Store(1)
+		if th.eng.gate.Load() == 0 {
+			return
+		}
+		th.active.Store(0)
+		for th.eng.gate.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// exitGate marks the thread idle.
+func (th *Thread) exitGate() { th.active.Store(0) }
+
+// statsFor returns this thread's counter block for partition p.
+func (th *Thread) statsFor(p PartID) *PartThreadStats {
+	return &th.stats[p]
+}
+
+// Atomic runs fn as a transaction, retrying on conflict until it commits.
+// See Engine.Atomic.
+func (th *Thread) Atomic(fn func(*Tx)) { th.eng.Atomic(th, fn) }
+
+// AtomicErr runs fn as a transaction; a non-nil error from fn aborts the
+// transaction (its effects are discarded) and is returned to the caller.
+// Conflict aborts still retry.
+func (th *Thread) AtomicErr(fn func(*Tx) error) error { return th.eng.AtomicErr(th, fn) }
+
+// ReadOnlyAtomic runs fn as a read-only transaction. If fn attempts a
+// write the transaction restarts in update mode, so the hint is safe even
+// when occasionally wrong.
+func (th *Thread) ReadOnlyAtomic(fn func(*Tx)) { th.eng.readOnlyAtomic(th, fn) }

@@ -1,0 +1,693 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/memory"
+)
+
+// writeMode tags how a write-set entry reaches memory.
+type writeMode uint8
+
+const (
+	modeWB  writeMode = iota // buffered, applied at commit (ETL write-back)
+	modeWT                   // written in place under lock, old value kept for undo
+	modeCTL                  // buffered, orec acquired at commit time
+)
+
+type readEntry struct {
+	o   *orec
+	ver uint64
+}
+
+type writeEntry struct {
+	addr memory.Addr
+	val  uint64 // new value (WB/CTL)
+	old  uint64 // pre-image (WT undo)
+	o    *orec
+	ps   *partState
+	mode writeMode
+}
+
+type lockRec struct {
+	o    *orec
+	prev uint64
+}
+
+type allocRec struct {
+	addr memory.Addr
+	n    int
+}
+
+type touchRec struct {
+	p     *Partition
+	wrote bool
+}
+
+// Tx is a transaction descriptor. One lives in each Thread and is reused
+// across attempts; all methods must be called from the owning goroutine,
+// inside Engine.Atomic. Transactional operations abort by panicking with
+// an internal signal that Engine.Atomic recovers; user code simply calls
+// Load/Store and lets the engine retry.
+type Tx struct {
+	eng  *Engine
+	th   *Thread
+	topo *topology
+
+	snapshot   uint64
+	readOnly   bool
+	hasVisible bool
+	opCount    uint64
+
+	rs      []readEntry
+	ws      []writeEntry
+	wsIndex map[memory.Addr]int
+	locks   []lockRec
+	vreads  []*orec
+	allocs  []allocRec
+	frees   []allocRec
+	touched []touchRec
+}
+
+func (tx *Tx) init(e *Engine, th *Thread) {
+	tx.eng = e
+	tx.th = th
+	tx.wsIndex = make(map[memory.Addr]int, 64)
+}
+
+// Snapshot returns the transaction's current snapshot timestamp.
+func (tx *Tx) Snapshot() uint64 { return tx.snapshot }
+
+// ReadOnly reports whether this attempt runs in read-only mode.
+func (tx *Tx) ReadOnly() bool { return tx.readOnly }
+
+// Thread returns the owning thread.
+func (tx *Tx) Thread() *Thread { return tx.th }
+
+func (tx *Tx) begin(readOnly bool) {
+	tx.topo = tx.eng.topo.Load()
+	tx.readOnly = readOnly
+	tx.hasVisible = false
+	tx.opCount = 0
+	tx.rs = tx.rs[:0]
+	tx.ws = tx.ws[:0]
+	tx.locks = tx.locks[:0]
+	tx.vreads = tx.vreads[:0]
+	tx.allocs = tx.allocs[:0]
+	tx.frees = tx.frees[:0]
+	tx.touched = tx.touched[:0]
+	if len(tx.wsIndex) > 0 {
+		clear(tx.wsIndex)
+	}
+	tx.th.killed.Store(0) // stale kills from a previous attempt do not apply
+	tx.th.progress.Store(0)
+	tx.snapshot = tx.eng.clock.Load()
+}
+
+func (tx *Tx) abort(cause AbortCause) {
+	panic(abortSignal{cause: cause})
+}
+
+// Abort aborts the transaction attempt and retries it (an explicit user
+// restart).
+func (tx *Tx) Abort() { tx.abort(AbortExplicit) }
+
+func (tx *Tx) checkKilled() {
+	if tx.th.killed.Load() != 0 {
+		tx.th.killed.Store(0)
+		tx.abort(AbortKilled)
+	}
+}
+
+func (tx *Tx) touch(p *Partition, wrote bool) {
+	for i := range tx.touched {
+		if tx.touched[i].p == p {
+			tx.touched[i].wrote = tx.touched[i].wrote || wrote
+			return
+		}
+	}
+	tx.touched = append(tx.touched, touchRec{p: p, wrote: wrote})
+}
+
+func (tx *Tx) tick() {
+	tx.opCount++
+	tx.th.progress.Store(tx.opCount)
+	if m := tx.eng.yieldMask.Load(); m != 0 && tx.th.nextRand()&m == 0 {
+		runtime.Gosched()
+	}
+}
+
+// Load transactionally reads the word at addr.
+func (tx *Tx) Load(addr memory.Addr) uint64 {
+	tx.checkKilled()
+	tx.tick()
+	p := tx.eng.partOf(tx.topo, addr)
+	ps := p.loadState()
+	st := tx.th.statsFor(p.id)
+	st.Loads.Add(1)
+	tx.touch(p, false)
+
+	// Read-after-write: buffered values win; write-through values are
+	// already in memory and flow through the normal paths below.
+	if len(tx.ws) > 0 {
+		if i, ok := tx.wsIndex[addr]; ok && tx.ws[i].mode != modeWT {
+			return tx.ws[i].val
+		}
+	}
+
+	o := ps.table.of(addr)
+	if ps.cfg.Read == VisibleReads {
+		tx.hasVisible = true
+		return tx.loadVisible(ps, o, addr, st)
+	}
+	return tx.loadInvisible(ps, o, addr, st)
+}
+
+// loadInvisible implements the timestamp-validated invisible read: sample
+// lock word, read value, resample; extend the snapshot when the version is
+// newer than it.
+func (tx *Tx) loadInvisible(ps *partState, o *orec, addr memory.Addr, st *PartThreadStats) uint64 {
+	spins := 0
+	for {
+		l1 := o.lock.Load()
+		if isLocked(l1) {
+			if lockOwner(l1) == tx.th.slot {
+				// Self-locked: for WB the buffered value was returned by the
+				// caller's write-set probe; reaching here means a different
+				// word sharing the orec, whose memory is stable under our
+				// own lock. For WT the current value is in memory.
+				return tx.eng.arena.LoadAtomic(addr)
+			}
+			tx.cmConflict(ps, o, l1, AbortLockedOnRead, &spins, st)
+			continue
+		}
+		v := tx.eng.arena.LoadAtomic(addr)
+		if o.lock.Load() != l1 {
+			spins++
+			continue
+		}
+		if ver := versionOf(l1); ver > tx.snapshot {
+			if !tx.extend() {
+				tx.abort(AbortValidation)
+			}
+			continue // re-read under the extended snapshot
+		}
+		tx.rs = append(tx.rs, readEntry{o: o, ver: versionOf(l1)})
+		return v
+	}
+}
+
+// loadVisible implements the visible read: register in the orec's reader
+// bitmap, re-check the lock, and pin the location until commit/abort. The
+// version check against the snapshot is kept so that a transaction mixing
+// visible and invisible partitions still observes one consistent snapshot
+// (opacity); visible entries themselves never need commit validation.
+func (tx *Tx) loadVisible(ps *partState, o *orec, addr memory.Addr, st *PartThreadStats) uint64 {
+	bit := tx.th.readerBit()
+	spins := 0
+	for {
+		l := o.lock.Load()
+		if isLocked(l) {
+			if lockOwner(l) == tx.th.slot {
+				return tx.eng.arena.LoadAtomic(addr)
+			}
+			tx.cmConflict(ps, o, l, AbortLockedOnRead, &spins, st)
+			continue
+		}
+		old := o.readers.Or(bit)
+		mine := old&bit != 0
+		if !mine {
+			tx.vreads = append(tx.vreads, o)
+		}
+		l2 := o.lock.Load()
+		if isLocked(l2) {
+			// A writer slipped in between the check and the registration;
+			// withdraw and arbitrate.
+			if !mine {
+				o.readers.And(^bit)
+				tx.vreads = tx.vreads[:len(tx.vreads)-1]
+			}
+			tx.cmConflict(ps, o, l2, AbortLockedOnRead, &spins, st)
+			continue
+		}
+		if ver := versionOf(l2); ver > tx.snapshot {
+			if !tx.extend() {
+				tx.abort(AbortValidation)
+			}
+			// Snapshot now covers the version; the bit pins the location.
+		}
+		return tx.eng.arena.LoadAtomic(addr)
+	}
+}
+
+// Store transactionally writes v to addr.
+func (tx *Tx) Store(addr memory.Addr, v uint64) {
+	tx.checkKilled()
+	tx.tick()
+	if tx.readOnly {
+		tx.abort(AbortUpgrade)
+	}
+	p := tx.eng.partOf(tx.topo, addr)
+	ps := p.loadState()
+	st := tx.th.statsFor(p.id)
+	st.Stores.Add(1)
+	tx.touch(p, true)
+	if ps.cfg.Read == VisibleReads {
+		tx.hasVisible = true
+	}
+	o := ps.table.of(addr)
+
+	switch {
+	case ps.cfg.Acquire == CommitTime:
+		tx.wsPut(addr, v, o, ps, modeCTL)
+	case ps.cfg.Write == WriteBack:
+		tx.acquire(ps, o, st)
+		tx.wsPut(addr, v, o, ps, modeWB)
+	default: // encounter-time write-through
+		tx.acquire(ps, o, st)
+		if i, ok := tx.wsIndex[addr]; ok {
+			_ = i // undo pre-image already captured on first write
+		} else {
+			tx.wsIndex[addr] = len(tx.ws)
+			tx.ws = append(tx.ws, writeEntry{
+				addr: addr,
+				old:  tx.eng.arena.LoadAtomic(addr),
+				o:    o,
+				ps:   ps,
+				mode: modeWT,
+			})
+		}
+		tx.eng.arena.StoreAtomic(addr, v)
+	}
+}
+
+func (tx *Tx) wsPut(addr memory.Addr, v uint64, o *orec, ps *partState, mode writeMode) {
+	if i, ok := tx.wsIndex[addr]; ok {
+		tx.ws[i].val = v
+		return
+	}
+	tx.wsIndex[addr] = len(tx.ws)
+	tx.ws = append(tx.ws, writeEntry{addr: addr, val: v, o: o, ps: ps, mode: mode})
+}
+
+// acquire takes the orec's write lock at encounter time, draining visible
+// readers per the partition's reader policy.
+func (tx *Tx) acquire(ps *partState, o *orec, st *PartThreadStats) {
+	spins := 0
+	for {
+		l := o.lock.Load()
+		if isLocked(l) {
+			if lockOwner(l) == tx.th.slot {
+				return
+			}
+			tx.cmConflict(ps, o, l, AbortLockedOnWrite, &spins, st)
+			continue
+		}
+		if versionOf(l) > tx.snapshot && len(tx.rs) > 0 {
+			// The location moved past our snapshot; extend now so commit
+			// validation is not doomed.
+			if !tx.extend() {
+				tx.abort(AbortValidation)
+			}
+		}
+		if o.lock.CompareAndSwap(l, lockWordFor(tx.th.slot)) {
+			tx.locks = append(tx.locks, lockRec{o: o, prev: l})
+			if ps.cfg.Read == VisibleReads {
+				tx.drainReaders(ps, o, st)
+			}
+			return
+		}
+	}
+}
+
+// drainReaders resolves write-vs-visible-reader conflicts after the lock
+// is held: either kill the registered readers and wait for their bits to
+// clear, or yield (abort self) per the partition's reader policy.
+func (tx *Tx) drainReaders(ps *partState, o *orec, st *PartThreadStats) {
+	bit := tx.th.readerBit()
+	spins := 0
+	for {
+		r := o.readers.Load() &^ bit
+		if r == 0 {
+			return
+		}
+		if ps.cfg.ReaderCM == WriterKillsReaders {
+			for r != 0 {
+				s := trailingZeros(r)
+				r &^= uint64(1) << uint(s)
+				if other := tx.eng.threadBySlot(s); other != nil && other != tx.th {
+					other.kill()
+				}
+			}
+			st.WaitCycles.Add(1)
+			spins++
+			if spins&63 == 0 {
+				runtime.Gosched()
+			}
+			tx.checkKilled() // we may be a visible reader elsewhere, under attack
+			continue
+		}
+		// WriterYieldsToReaders
+		st.WaitCycles.Add(1)
+		spins++
+		if spins > ps.cfg.SpinBudget {
+			tx.abort(AbortReaderWall)
+		}
+		if spins&31 == 0 {
+			runtime.Gosched()
+		}
+		tx.checkKilled()
+	}
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// cmConflict arbitrates a lock conflict per the partition's CM policy. It
+// either returns (caller retries the protocol loop) or aborts by panic.
+func (tx *Tx) cmConflict(ps *partState, o *orec, l uint64, cause AbortCause, spins *int, st *PartThreadStats) {
+	tx.checkKilled()
+	switch ps.cfg.CM {
+	case CMSuicide:
+		tx.abort(cause)
+	case CMSpin:
+		*spins++
+		st.WaitCycles.Add(1)
+		if *spins > ps.cfg.SpinBudget {
+			tx.abort(cause)
+		}
+		if *spins&31 == 0 {
+			runtime.Gosched()
+		}
+	case CMKarma:
+		owner := tx.eng.threadBySlot(lockOwner(l))
+		*spins++
+		st.WaitCycles.Add(1)
+		if owner == nil {
+			if *spins > ps.cfg.SpinBudget {
+				tx.abort(cause)
+			}
+			return
+		}
+		if tx.opCount > owner.progress.Load() {
+			owner.kill()
+			if *spins > 8*ps.cfg.SpinBudget {
+				tx.abort(cause) // victim is not dying; give up
+			}
+			if *spins&31 == 0 {
+				runtime.Gosched()
+			}
+			return
+		}
+		if *spins > ps.cfg.SpinBudget {
+			tx.abort(cause)
+		}
+		if *spins&31 == 0 {
+			runtime.Gosched()
+		}
+	case CMAggressive:
+		owner := tx.eng.threadBySlot(lockOwner(l))
+		if owner != nil {
+			owner.kill()
+		}
+		*spins++
+		st.WaitCycles.Add(1)
+		if *spins > 8*ps.cfg.SpinBudget {
+			tx.abort(cause)
+		}
+		if *spins&31 == 0 {
+			runtime.Gosched()
+		}
+	case CMBackoff:
+		*spins++
+		st.WaitCycles.Add(1)
+		if *spins > ps.cfg.SpinBudget {
+			tx.abort(cause)
+		}
+		// Randomized exponential pause: busy-wait a jittered
+		// 2^min(spins,10)-bounded number of cycles between probes of the
+		// lock word, so hot orecs see far fewer cache-line reads. The
+		// pause is pure spinning; yield to the scheduler only once per
+		// long pause (a Gosched per iteration costs more than the lock
+		// hold times it waits out).
+		shift := *spins
+		if shift > 10 {
+			shift = 10
+		}
+		pause := tx.th.nextRand() & ((uint64(1) << uint(shift)) - 1)
+		for i := uint64(0); i < pause; i++ {
+			_ = i
+		}
+		if pause > 256 {
+			runtime.Gosched()
+		}
+	case CMTimestamp:
+		owner := tx.eng.threadBySlot(lockOwner(l))
+		*spins++
+		st.WaitCycles.Add(1)
+		if owner == nil || owner == tx.th {
+			if *spins > ps.cfg.SpinBudget {
+				tx.abort(cause)
+			}
+			return
+		}
+		if tx.th.beginSeq.Load() < owner.beginSeq.Load() {
+			// We are older: kill the owner and wait for the lock to drain.
+			owner.kill()
+			if *spins > 8*ps.cfg.SpinBudget {
+				tx.abort(cause) // victim is not dying; give up
+			}
+			if *spins&31 == 0 {
+				runtime.Gosched()
+			}
+			return
+		}
+		// We are younger: wait briefly for the elder, then yield.
+		if *spins > ps.cfg.SpinBudget {
+			tx.abort(cause)
+		}
+		if *spins&31 == 0 {
+			runtime.Gosched()
+		}
+	default:
+		tx.abort(cause)
+	}
+}
+
+// extend attempts a snapshot extension: validate the invisible read set
+// against the current clock and, on success, move the snapshot forward.
+func (tx *Tx) extend() bool {
+	now := tx.eng.clock.Load()
+	if !tx.validate() {
+		return false
+	}
+	tx.snapshot = now
+	return true
+}
+
+// validate checks every invisible read entry: the orec must carry the
+// version observed at read time, or be locked by this transaction with an
+// unchanged pre-image.
+func (tx *Tx) validate() bool {
+	for i := range tx.rs {
+		en := &tx.rs[i]
+		l := en.o.lock.Load()
+		if isLocked(l) {
+			if lockOwner(l) != tx.th.slot {
+				return false
+			}
+			prev, ok := tx.prevFor(en.o)
+			if !ok || versionOf(prev) != en.ver {
+				return false
+			}
+			continue
+		}
+		if versionOf(l) != en.ver {
+			return false
+		}
+	}
+	return true
+}
+
+func (tx *Tx) prevFor(o *orec) (uint64, bool) {
+	for i := range tx.locks {
+		if tx.locks[i].o == o {
+			return tx.locks[i].prev, true
+		}
+	}
+	return 0, false
+}
+
+// commit finishes the transaction: commit-time lock acquisition (CTL
+// partitions), clock increment, read-set validation, write-back, lock
+// release, visible-reader deregistration, bookkeeping.
+func (tx *Tx) commit() {
+	tx.checkKilled()
+	if len(tx.ws) == 0 && len(tx.locks) == 0 {
+		// Read-only commit. Invisible entries were continuously valid at
+		// the snapshot; if any visible-mode partition was touched the
+		// serialization point is commit time, so validate the invisible
+		// entries against it.
+		if tx.hasVisible && len(tx.rs) > 0 && !tx.validate() {
+			tx.abort(AbortValidation)
+		}
+		tx.finish(true)
+		return
+	}
+	for i := range tx.ws {
+		en := &tx.ws[i]
+		if en.mode == modeCTL {
+			tx.acquireAtCommit(en)
+		}
+	}
+	wv := tx.eng.clock.Add(1)
+	if wv > tx.snapshot+1 || tx.hasVisible {
+		if !tx.validate() {
+			tx.abort(AbortValidation)
+		}
+	}
+	for i := range tx.ws {
+		en := &tx.ws[i]
+		if en.mode != modeWT {
+			tx.eng.arena.StoreAtomic(en.addr, en.val)
+		}
+	}
+	for i := range tx.locks {
+		tx.locks[i].o.lock.Store(versionWord(wv))
+	}
+	tx.finish(true)
+}
+
+// acquireAtCommit locks a CTL entry's orec, deduplicating entries that
+// share an orec and draining visible readers when required.
+func (tx *Tx) acquireAtCommit(en *writeEntry) {
+	st := tx.th.statsFor(tx.eng.partOf(tx.topo, en.addr).id)
+	spins := 0
+	for {
+		l := en.o.lock.Load()
+		if isLocked(l) {
+			if lockOwner(l) == tx.th.slot {
+				return // another entry already acquired this orec
+			}
+			tx.cmConflict(en.ps, en.o, l, AbortLockedOnWrite, &spins, st)
+			continue
+		}
+		if en.o.lock.CompareAndSwap(l, lockWordFor(tx.th.slot)) {
+			tx.locks = append(tx.locks, lockRec{o: en.o, prev: l})
+			if en.ps.cfg.Read == VisibleReads {
+				tx.drainReaders(en.ps, en.o, st)
+			}
+			return
+		}
+	}
+}
+
+// rollback undoes an attempt: restore write-through pre-images, release
+// locks to their previous words, clear reader bits, recycle allocations
+// made by the attempt, and record the abort cause.
+func (tx *Tx) rollback(cause AbortCause) {
+	for i := len(tx.ws) - 1; i >= 0; i-- {
+		en := &tx.ws[i]
+		if en.mode == modeWT {
+			tx.eng.arena.StoreAtomic(en.addr, en.old)
+		}
+	}
+	for i := len(tx.locks) - 1; i >= 0; i-- {
+		lr := &tx.locks[i]
+		lr.o.lock.Store(lr.prev)
+	}
+	bit := tx.th.readerBit()
+	for _, o := range tx.vreads {
+		o.readers.And(^bit)
+	}
+	for _, a := range tx.allocs {
+		tx.th.alloc.Free(a.addr, a.n)
+	}
+	if len(tx.touched) == 0 {
+		// Aborted before touching any partition (e.g. killed at the first
+		// operation): attribute to the global partition so the abort is
+		// not lost from the books.
+		tx.th.statsFor(GlobalPartition).Aborts[cause].Add(1)
+	}
+	for i := range tx.touched {
+		tx.th.statsFor(tx.touched[i].p.id).Aborts[cause].Add(1)
+	}
+	tx.finish(false)
+}
+
+// finish releases per-attempt state. committed selects commit vs. abort
+// bookkeeping (locks/bits are handled by the caller for commits).
+func (tx *Tx) finish(committed bool) {
+	if committed {
+		bit := tx.th.readerBit()
+		for _, o := range tx.vreads {
+			o.readers.And(^bit)
+		}
+		for _, f := range tx.frees {
+			tx.th.alloc.Free(f.addr, f.n)
+		}
+		for i := range tx.touched {
+			st := tx.th.statsFor(tx.touched[i].p.id)
+			st.Commits.Add(1)
+			if tx.touched[i].wrote {
+				st.UpdateCommits.Add(1)
+			} else {
+				st.ROCommits.Add(1)
+			}
+		}
+	}
+	tx.rs = tx.rs[:0]
+	tx.ws = tx.ws[:0]
+	tx.locks = tx.locks[:0]
+	tx.vreads = tx.vreads[:0]
+	tx.allocs = tx.allocs[:0]
+	tx.frees = tx.frees[:0]
+	tx.touched = tx.touched[:0]
+	if len(tx.wsIndex) > 0 {
+		clear(tx.wsIndex)
+	}
+}
+
+// Alloc allocates a fresh object of n words at the given allocation site.
+// If the transaction aborts, the object is recycled automatically.
+// Recycled memory retains its previous committed contents (this preserves
+// opacity for concurrent snapshot readers holding stale references), so
+// the caller must initialize every word transactionally before publishing
+// the object.
+func (tx *Tx) Alloc(site memory.SiteID, n int) memory.Addr {
+	a, err := tx.th.alloc.Alloc(site, n)
+	if err != nil {
+		panic(err) // arena exhaustion is a configuration error, not a conflict
+	}
+	tx.allocs = append(tx.allocs, allocRec{addr: a, n: n})
+	return a
+}
+
+// Free schedules the object at addr (n words) for recycling if and when
+// the transaction commits. The caller must already have unlinked it.
+func (tx *Tx) Free(addr memory.Addr, n int) {
+	if addr == memory.Nil {
+		return
+	}
+	tx.frees = append(tx.frees, allocRec{addr: addr, n: n})
+}
+
+// LoadAddr reads a pointer-valued word.
+func (tx *Tx) LoadAddr(a memory.Addr) memory.Addr { return memory.Addr(tx.Load(a)) }
+
+// StoreAddr writes a pointer-valued word and, during profiling runs,
+// reports the site→site edge to the partition analyzer. All data-structure
+// link stores must go through this method; it is the dynamic stand-in for
+// the points-to edges the paper's compile-time analysis extracts.
+func (tx *Tx) StoreAddr(dst memory.Addr, target memory.Addr) {
+	tx.Store(dst, uint64(target))
+	if target != memory.Nil && tx.eng.profiling.Load() {
+		tx.eng.recordPointer(tx.eng.arena.SiteOf(dst), tx.eng.arena.SiteOf(target))
+	}
+}

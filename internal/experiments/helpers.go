@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/workload"
+	"repro/stm"
+)
+
+// newRuntime builds a fresh runtime for one experiment point.
+func newRuntime(o Options, cfg *stm.PartConfig) *stm.Runtime {
+	c := stm.Config{
+		HeapWords:     1 << 22,
+		YieldEveryOps: o.YieldEveryOps,
+	}
+	if cfg != nil {
+		c.Default = cfg
+	}
+	return stm.MustNew(c)
+}
+
+// multiSetSpecs returns the fig2/table1 structure mix, shrunk under Quick.
+func multiSetSpecs(o Options) []apps.IntSetSpec {
+	specs := apps.DefaultMultiSetSpecs()
+	if o.Quick {
+		for i := range specs {
+			specs[i].KeyRange /= 8
+			if specs[i].Buckets > 0 {
+				specs[i].Buckets /= 8
+			}
+		}
+	}
+	return specs
+}
+
+// multiSetConfig returns the full composite-application configuration
+// (structures plus ledger), shrunk under Quick.
+func multiSetConfig(o Options) apps.MultiSetConfig {
+	ledger := apps.DefaultLedgerSpec()
+	if o.Quick {
+		ledger.Slots /= 4
+	}
+	return apps.MultiSetConfig{Specs: multiSetSpecs(o), Ledger: &ledger}
+}
+
+// buildMultiSetPartitioned constructs the multi-structure app under
+// profiling and installs the discovered plan. It returns the app and the
+// plan.
+func buildMultiSetPartitioned(rt *stm.Runtime, cfg apps.MultiSetConfig) (*apps.MultiSet, *stm.Plan, error) {
+	rt.StartProfiling()
+	th := rt.MustAttach()
+	m := apps.NewMultiSetApp(rt, th, cfg)
+	// A short mixed run gives the analyzer the steady-state pointer graph
+	// (inserts during population already linked all sites, but exercise
+	// removes too).
+	rng := workload.NewRng(123)
+	for i := 0; i < 500; i++ {
+		m.Op(th, rng)
+	}
+	rt.Detach(th)
+	plan, err := rt.StopProfilingAndPartition()
+	if err != nil {
+		return nil, nil, fmt.Errorf("partitioning: %w", err)
+	}
+	return m, plan, nil
+}
+
+// visibleConfig returns the deliberately update-oriented global
+// configuration used as the "wrong one-size-fits-all" contrast.
+func visibleConfig() stm.PartConfig {
+	c := stm.DefaultPartConfig()
+	c.Read = stm.VisibleReads
+	return c
+}
+
+// fmtFloat renders a float for table cells.
+func fmtFloat(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// perTx divides safely.
+func perTx(n, txs uint64) float64 {
+	if txs == 0 {
+		return 0
+	}
+	return float64(n) / float64(txs)
+}

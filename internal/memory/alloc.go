@@ -1,0 +1,118 @@
+package memory
+
+import "fmt"
+
+// maxSmallSize is the largest object size (in words) served from per-size
+// free lists. Larger objects are bump-allocated and never recycled; the
+// workloads in this repository allocate nodes of a handful of words, and
+// bucket arrays once at setup, so this matches their behaviour.
+const maxSmallSize = 64
+
+// Allocator is a per-thread allocation cache over an Arena. Each worker
+// thread owns one Allocator; free lists and bump regions are thread-local,
+// and only grabbing a fresh block from the arena takes a lock. This keeps
+// the allocator off the measured critical path the same way TinySTM's
+// malloc wrappers do.
+//
+// Allocators are NOT safe for concurrent use; create one per goroutine.
+type Allocator struct {
+	arena  *Arena
+	caches []siteCache // indexed by SiteID; grown on demand
+}
+
+type siteCache struct {
+	bump Addr     // next free word in current block (0 = none)
+	end  Addr     // one past the current block
+	free [][]Addr // free[size] = stack of freed addresses of that size
+}
+
+// NewAllocator creates a thread-local allocator over arena.
+func NewAllocator(arena *Arena) *Allocator {
+	return &Allocator{arena: arena}
+}
+
+// Arena returns the backing arena.
+func (al *Allocator) Arena() *Arena { return al.arena }
+
+func (al *Allocator) cache(site SiteID) *siteCache {
+	if int(site) >= len(al.caches) {
+		grown := make([]siteCache, int(site)+1)
+		copy(grown, al.caches)
+		al.caches = grown
+	}
+	return &al.caches[site]
+}
+
+// Alloc returns the address of an object of n words owned by site. It
+// returns an error only when the arena is exhausted.
+//
+// Recycled objects retain their previous committed contents — they are
+// deliberately NOT zeroed here, because a non-transactional clear would
+// break opacity for concurrent snapshot readers still holding a stale
+// reference (the old contents are exactly the values their snapshot
+// expects). Callers must initialize every word transactionally before
+// publishing the object. Fresh bump memory is zero.
+func (al *Allocator) Alloc(site SiteID, n int) (Addr, error) {
+	if n <= 0 {
+		return Nil, fmt.Errorf("memory: alloc of %d words", n)
+	}
+	c := al.cache(site)
+	if n < maxSmallSize && n < len(c.free) {
+		if fl := c.free[n]; len(fl) > 0 {
+			addr := fl[len(fl)-1]
+			c.free[n] = fl[:len(fl)-1]
+			return addr, nil
+		}
+	}
+	if uint64(n) > al.arena.blockSize {
+		// Large object: spans dedicated contiguous blocks; never recycled.
+		k := (uint64(n) + al.arena.blockSize - 1) / al.arena.blockSize
+		addr, err := al.arena.grabBlocks(site, k)
+		if err != nil {
+			return Nil, err
+		}
+		al.arena.allocated.Add(uint64(n))
+		return addr, nil
+	}
+	if c.bump == Nil || uint64(c.end-c.bump) < uint64(n) {
+		b, err := al.arena.grabBlock(site)
+		if err != nil {
+			return Nil, err
+		}
+		c.bump = b
+		c.end = b + Addr(al.arena.blockSize)
+	}
+	addr := c.bump
+	c.bump += Addr(n)
+	al.arena.allocated.Add(uint64(n))
+	return addr, nil
+}
+
+// MustAlloc is Alloc that panics on arena exhaustion; used by benchmarks
+// whose arenas are sized for the workload.
+func (al *Allocator) MustAlloc(site SiteID, n int) Addr {
+	a, err := al.Alloc(site, n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Free recycles an object of n words at addr into this thread's free list
+// for its site. The caller asserts that no live reference to addr remains
+// (the STM's commit protocol guarantees this for transactionally freed
+// objects).
+func (al *Allocator) Free(addr Addr, n int) {
+	if addr == Nil || n <= 0 {
+		return
+	}
+	if n >= maxSmallSize {
+		return // large objects are not recycled
+	}
+	site := al.arena.SiteOf(addr)
+	c := al.cache(site)
+	for len(c.free) <= n {
+		c.free = append(c.free, nil)
+	}
+	c.free[n] = append(c.free[n], addr)
+}

@@ -1,0 +1,235 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testArena(t *testing.T) *Arena {
+	t.Helper()
+	a, err := NewArena(Config{CapacityWords: 1 << 16, BlockShift: 8})
+	if err != nil {
+		t.Fatalf("NewArena: %v", err)
+	}
+	return a
+}
+
+func TestNewArenaValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"defaults", Config{CapacityWords: 1 << 16}, true},
+		{"too small", Config{CapacityWords: 16, BlockShift: 8}, false},
+		{"tiny shift", Config{CapacityWords: 1 << 16, BlockShift: 2}, false},
+		{"huge shift", Config{CapacityWords: 1 << 26, BlockShift: 25}, false},
+		{"exact two blocks", Config{CapacityWords: 512, BlockShift: 8}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewArena(tc.cfg)
+			if (err == nil) != tc.ok {
+				t.Fatalf("NewArena(%+v) err=%v, want ok=%v", tc.cfg, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestArenaLoadStore(t *testing.T) {
+	a := testArena(t)
+	al := NewAllocator(a)
+	addr := al.MustAlloc(DefaultSite, 4)
+	if addr == Nil {
+		t.Fatal("allocated Nil")
+	}
+	a.Store(addr, 42)
+	if got := a.Load(addr); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+	a.StoreAtomic(addr+1, 7)
+	if got := a.LoadAtomic(addr + 1); got != 7 {
+		t.Fatalf("LoadAtomic = %d, want 7", got)
+	}
+}
+
+func TestAddrZeroIsReserved(t *testing.T) {
+	a := testArena(t)
+	al := NewAllocator(a)
+	for i := 0; i < 100; i++ {
+		if addr := al.MustAlloc(DefaultSite, 1); addr == Nil {
+			t.Fatal("allocator returned the nil address")
+		}
+	}
+}
+
+func TestSiteOwnership(t *testing.T) {
+	a := testArena(t)
+	s1 := a.Sites().Register("alpha")
+	s2 := a.Sites().Register("beta")
+	al := NewAllocator(a)
+	a1 := al.MustAlloc(s1, 8)
+	a2 := al.MustAlloc(s2, 8)
+	if got := a.SiteOf(a1); got != s1 {
+		t.Fatalf("SiteOf(a1) = %d, want %d", got, s1)
+	}
+	if got := a.SiteOf(a2); got != s2 {
+		t.Fatalf("SiteOf(a2) = %d, want %d", got, s2)
+	}
+	// Objects from different sites never share a block.
+	if a.BlockOf(a1) == a.BlockOf(a2) {
+		t.Fatal("different sites share a block")
+	}
+}
+
+func TestSitesRegistry(t *testing.T) {
+	a := testArena(t)
+	s := a.Sites()
+	id1 := s.Register("x.list")
+	id2 := s.Register("x.tree")
+	if id1 == id2 {
+		t.Fatal("distinct names share an id")
+	}
+	if again := s.Register("x.list"); again != id1 {
+		t.Fatalf("re-register changed id: %d != %d", again, id1)
+	}
+	if got, ok := s.Lookup("x.tree"); !ok || got != id2 {
+		t.Fatalf("Lookup = %d,%v", got, ok)
+	}
+	if _, ok := s.Lookup("missing"); ok {
+		t.Fatal("Lookup found a missing site")
+	}
+	if s.Name(id1) != "x.list" {
+		t.Fatalf("Name = %q", s.Name(id1))
+	}
+	if s.Name(DefaultSite) != "default" {
+		t.Fatalf("default site name = %q", s.Name(DefaultSite))
+	}
+	if s.Count() != 3 { // default + 2
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "default" {
+		t.Fatalf("Names = %v", names)
+	}
+	sorted := s.SortedByName()
+	for i := 1; i < len(sorted); i++ {
+		if s.Name(sorted[i-1]) > s.Name(sorted[i]) {
+			t.Fatalf("SortedByName out of order: %v", sorted)
+		}
+	}
+}
+
+func TestAllocRecycling(t *testing.T) {
+	a := testArena(t)
+	al := NewAllocator(a)
+	x := al.MustAlloc(DefaultSite, 4)
+	al.Free(x, 4)
+	y := al.MustAlloc(DefaultSite, 4)
+	if x != y {
+		t.Fatalf("free-list recycle: got %d, want %d", y, x)
+	}
+	// Different size does not hit the same free list.
+	al.Free(y, 4)
+	z := al.MustAlloc(DefaultSite, 5)
+	if z == y {
+		t.Fatal("5-word alloc reused a 4-word free object")
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	a := testArena(t)
+	al := NewAllocator(a)
+	if _, err := al.Alloc(DefaultSite, 0); err == nil {
+		t.Fatal("Alloc(0) succeeded")
+	}
+	if _, err := al.Alloc(DefaultSite, -3); err == nil {
+		t.Fatal("Alloc(-3) succeeded")
+	}
+	if _, err := al.Alloc(DefaultSite, 1<<20); err == nil {
+		t.Fatal("Alloc larger than a block succeeded")
+	}
+	// Free of Nil and nonsense sizes must be harmless no-ops.
+	al.Free(Nil, 4)
+	al.Free(al.MustAlloc(DefaultSite, 2), 0)
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	a, err := NewArena(Config{CapacityWords: 1 << 10, BlockShift: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := NewAllocator(a)
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		_, lastErr = al.Alloc(SiteID(i%4)+100, 200) // spread across sites to burn blocks
+		if lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("arena never exhausted")
+	}
+}
+
+func TestBlocksInUseGrows(t *testing.T) {
+	a := testArena(t)
+	al := NewAllocator(a)
+	before := a.BlocksInUse()
+	al.MustAlloc(a.Sites().Register("g1"), 8)
+	after := a.BlocksInUse()
+	if after != before+1 {
+		t.Fatalf("BlocksInUse %d -> %d, want +1", before, after)
+	}
+}
+
+func TestAllocDistinctness(t *testing.T) {
+	// Property: live allocations never overlap.
+	a := MustNewArena(Config{CapacityWords: 1 << 18, BlockShift: 8})
+	al := NewAllocator(a)
+	type span struct{ lo, hi uint64 }
+	var live []span
+	f := func(rawSize uint8, siteSel uint8) bool {
+		n := int(rawSize%16) + 1
+		site := SiteID(siteSel % 4)
+		addr, err := al.Alloc(site, n)
+		if err != nil {
+			return true // exhaustion is acceptable under quick's draws
+		}
+		lo, hi := uint64(addr), uint64(addr)+uint64(n)
+		for _, s := range live {
+			if lo < s.hi && s.lo < hi {
+				return false
+			}
+		}
+		live = append(live, span{lo, hi})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeReuseRoundTrip(t *testing.T) {
+	// Property: alloc→free→alloc of the same size returns a previously
+	// freed address (LIFO) and never corrupts other live objects.
+	a := MustNewArena(Config{CapacityWords: 1 << 16, BlockShift: 8})
+	al := NewAllocator(a)
+	canary := al.MustAlloc(DefaultSite, 3)
+	a.Store(canary, 0xDEAD)
+	f := func(sz uint8) bool {
+		n := int(sz%8) + 1
+		x := al.MustAlloc(DefaultSite, n)
+		a.Store(x, uint64(n))
+		al.Free(x, n)
+		y := al.MustAlloc(DefaultSite, n)
+		if y != x {
+			return false
+		}
+		al.Free(y, n)
+		return a.Load(canary) == 0xDEAD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestConcurrentAllocatorsDisjoint hammers per-thread allocators from many
+// goroutines and checks that no two live allocations ever overlap: each
+// allocation's word range is stamped with a unique tag and re-verified
+// before free.
+func TestConcurrentAllocatorsDisjoint(t *testing.T) {
+	a := MustNewArena(Config{CapacityWords: 1 << 20, BlockShift: 10})
+	site := a.Sites().Register("conc")
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	errCh := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			al := NewAllocator(a)
+			type rec struct {
+				addr Addr
+				n    int
+				tag  uint64
+			}
+			var live []rec
+			tag := uint64(id) << 32
+			for i := 0; i < iters; i++ {
+				if len(live) < 32 {
+					n := 1 + i%7
+					addr, err := al.Alloc(site, n)
+					if err != nil {
+						errCh <- err.Error()
+						return
+					}
+					tag++
+					for j := 0; j < n; j++ {
+						a.Store(addr+Addr(j), tag)
+					}
+					live = append(live, rec{addr, n, tag})
+					continue
+				}
+				r := live[0]
+				live = live[1:]
+				for j := 0; j < r.n; j++ {
+					if got := a.Load(r.addr + Addr(j)); got != r.tag {
+						errCh <- "allocation overwritten: overlap between live allocations"
+						return
+					}
+				}
+				al.Free(r.addr, r.n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for msg := range errCh {
+		t.Fatal(msg)
+	}
+}
+
+// TestAllocatorSiteIsolation verifies blocks handed to one site are never
+// re-labeled for another even when allocators interleave.
+func TestAllocatorSiteIsolation(t *testing.T) {
+	a := MustNewArena(Config{CapacityWords: 1 << 16, BlockShift: 8})
+	s1 := a.Sites().Register("iso.one")
+	s2 := a.Sites().Register("iso.two")
+	al := NewAllocator(a)
+	var from1, from2 []Addr
+	for i := 0; i < 200; i++ {
+		a1 := al.MustAlloc(s1, 3)
+		a2 := al.MustAlloc(s2, 5)
+		from1 = append(from1, a1)
+		from2 = append(from2, a2)
+	}
+	for _, addr := range from1 {
+		if got := a.SiteOf(addr); got != s1 {
+			t.Fatalf("addr %d labeled site %d, want %d", addr, got, s1)
+		}
+	}
+	for _, addr := range from2 {
+		if got := a.SiteOf(addr); got != s2 {
+			t.Fatalf("addr %d labeled site %d, want %d", addr, got, s2)
+		}
+	}
+}
+
+// TestAllocFreeProperty is the testing/quick law: for any sequence of
+// sizes, allocating then freeing then allocating the same sizes at one
+// site never errors and never hands out address 0.
+func TestAllocFreeProperty(t *testing.T) {
+	a := MustNewArena(Config{CapacityWords: 1 << 18, BlockShift: 8})
+	site := a.Sites().Register("prop")
+	al := NewAllocator(a)
+	f := func(sizes []uint8) bool {
+		type rec struct {
+			addr Addr
+			n    int
+		}
+		var recs []rec
+		for _, s := range sizes {
+			n := int(s%32) + 1
+			addr, err := al.Alloc(site, n)
+			if err != nil || addr == Nil {
+				return false
+			}
+			recs = append(recs, rec{addr, n})
+		}
+		for _, r := range recs {
+			al.Free(r.addr, r.n)
+		}
+		for _, r := range recs {
+			addr, err := al.Alloc(site, r.n)
+			if err != nil || addr == Nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSitesConcurrentRegister registers overlapping name sets from many
+// goroutines; every name must map to exactly one stable id.
+func TestSitesConcurrentRegister(t *testing.T) {
+	a := MustNewArena(Config{CapacityWords: 1 << 12, BlockShift: 8})
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	const workers = 8
+	ids := make([][]SiteID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ids[id] = make([]SiteID, len(names))
+			for i, n := range names {
+				ids[id][i] = a.Sites().Register(n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range names {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("site %q: worker %d got id %d, worker 0 got %d",
+					names[i], w, ids[w][i], ids[0][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package memory
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sites is the allocation-site table. A site stands in for a static
+// allocation site in the program source: in the paper's system the
+// compile-time data-structure analysis operates on allocation sites of the
+// C program; here, code registers a named site per logical allocation
+// point ("vacation.flights.node", "intset.list.node", ...) and tags every
+// allocation with it. The partitioning analysis groups sites into
+// partitions.
+type Sites struct {
+	mu    sync.RWMutex
+	names []string          // SiteID -> name
+	ids   map[string]SiteID // name -> SiteID
+}
+
+func newSites() *Sites {
+	s := &Sites{ids: make(map[string]SiteID)}
+	// SiteID 0 is the default site.
+	s.names = append(s.names, "default")
+	s.ids["default"] = DefaultSite
+	return s
+}
+
+// Register returns the SiteID for name, creating it if needed. Site
+// registration is expected at setup time, but is safe concurrently.
+func (s *Sites) Register(name string) SiteID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := SiteID(len(s.names))
+	s.names = append(s.names, name)
+	s.ids[name] = id
+	return id
+}
+
+// Lookup returns the SiteID for name and whether it exists.
+func (s *Sites) Lookup(name string) (SiteID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.ids[name]
+	return id, ok
+}
+
+// Name returns the name of site id.
+func (s *Sites) Name(id SiteID) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.names) {
+		return fmt.Sprintf("site#%d", id)
+	}
+	return s.names[id]
+}
+
+// Count returns the number of registered sites (including the default).
+func (s *Sites) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.names)
+}
+
+// Names returns all registered site names sorted by SiteID.
+func (s *Sites) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// SortedByName returns all site IDs ordered by site name; useful for
+// stable report output.
+func (s *Sites) SortedByName() []SiteID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]SiteID, len(s.names))
+	for i := range ids {
+		ids[i] = SiteID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool { return s.names[ids[i]] < s.names[ids[j]] })
+	return ids
+}

@@ -1,0 +1,100 @@
+package partition
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/memory"
+)
+
+// Edge is one observed pointer relation between two allocation sites,
+// with the number of times it was seen during profiling.
+type Edge struct {
+	From, To memory.SiteID
+	Count    uint64
+}
+
+// Analyzer records allocation-site connectivity during a profiling run.
+// It implements core.PointerRecorder. It is safe for concurrent use (the
+// profiling workload is multi-threaded).
+type Analyzer struct {
+	mu    sync.Mutex
+	uf    *unionFind
+	edges map[[2]memory.SiteID]uint64
+}
+
+// NewAnalyzer creates an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		uf:    newUnionFind(1),
+		edges: make(map[[2]memory.SiteID]uint64),
+	}
+}
+
+// RecordPointer unions the two sites and counts the edge. Self-edges are
+// counted (intra-structure links like list next pointers) but do not
+// affect the grouping.
+func (a *Analyzer) RecordPointer(from, to memory.SiteID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	key := [2]memory.SiteID{from, to}
+	if from > to {
+		key = [2]memory.SiteID{to, from}
+	}
+	a.edges[key]++
+	if from != to {
+		a.uf.union(uint32(from), uint32(to))
+	}
+}
+
+// Connected reports whether two sites ended up in one group.
+func (a *Analyzer) Connected(x, y memory.SiteID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.uf.sameSet(uint32(x), uint32(y))
+}
+
+// Edges returns the observed site graph sorted by (From, To).
+func (a *Analyzer) Edges() []Edge {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Edge, 0, len(a.edges))
+	for k, c := range a.edges {
+		out = append(out, Edge{From: k[0], To: k[1], Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// EdgeCount returns the number of distinct site edges observed.
+func (a *Analyzer) EdgeCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.edges)
+}
+
+// groups returns the connected components over sites [1, numSites).
+// Site 0 (the default site) is excluded: it always maps to the global
+// partition. Components are ordered by their smallest member so output is
+// deterministic.
+func (a *Analyzer) groups(numSites int) [][]memory.SiteID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	byRoot := make(map[uint32][]memory.SiteID)
+	for s := 1; s < numSites; s++ {
+		r := a.uf.find(uint32(s))
+		byRoot[r] = append(byRoot[r], memory.SiteID(s))
+	}
+	out := make([][]memory.SiteID, 0, len(byRoot))
+	for _, g := range byRoot {
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

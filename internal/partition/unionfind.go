@@ -1,0 +1,72 @@
+// Package partition derives data partitions automatically.
+//
+// The paper discovers partitions at compile time: a data-structure
+// analysis (ref [6] of the paper, Lattner-style points-to analysis inside
+// the Tanger/LLVM compiler) groups allocation sites whose objects are
+// connected by stored pointers into disjoint logical data structures, and
+// each group becomes a partition the STM manages independently.
+//
+// Go has no such compiler pass, so this package computes the same
+// equivalence dynamically: during a profiling run, every pointer store
+// (Tx.StoreAddr) reports an allocation-site edge; the analyzer unions the
+// two sites. Connected components of the resulting graph are exactly the
+// data structures the static analysis would find on the executed paths.
+// As in the paper, discovery cost is paid outside the measured runs, and
+// the measured runtime pays only an O(1) address→partition lookup.
+package partition
+
+// unionFind is a classic disjoint-set forest with union by rank and path
+// compression, keyed by dense uint32 ids (allocation sites).
+type unionFind struct {
+	parent []uint32
+	rank   []uint8
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{}
+	u.grow(n)
+	return u
+}
+
+func (u *unionFind) grow(n int) {
+	for len(u.parent) < n {
+		u.parent = append(u.parent, uint32(len(u.parent)))
+		u.rank = append(u.rank, 0)
+	}
+}
+
+// find returns the representative of x, growing the forest if needed.
+func (u *unionFind) find(x uint32) uint32 {
+	u.grow(int(x) + 1)
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// union merges the sets containing a and b; it returns true if they were
+// previously distinct.
+func (u *unionFind) union(a, b uint32) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return true
+}
+
+// sameSet reports whether a and b are currently in one set.
+func (u *unionFind) sameSet(a, b uint32) bool { return u.find(a) == u.find(b) }
+
+// size returns the number of tracked elements.
+func (u *unionFind) size() int { return len(u.parent) }

@@ -1,0 +1,240 @@
+// Package stats provides small measurement utilities for the benchmark
+// harness: power-of-two latency histograms and labeled time/value series
+// with text rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free histogram with power-of-two buckets; bucket i
+// counts values in [2^i, 2^(i+1)). Suitable for nanosecond latencies.
+type Histogram struct {
+	buckets [64]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[log2(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Quantile returns an upper bound for quantile q (0..1) based on bucket
+// boundaries.
+func (h *Histogram) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return uint64(1) << uint(i+1)
+		}
+	}
+	return uint64(1) << 63
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points (one line of a figure).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Figure is a set of series over a shared x-axis — the unit the harness
+// prints for each reproduced figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Series returns (creating if needed) the series with the given name.
+func (f *Figure) SeriesNamed(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Render prints the figure as an aligned text table: one row per x value,
+// one column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n", f.Title)
+	fmt.Fprintf(&b, "# y: %s\n", f.YLabel)
+	// Collect the x axis.
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	axis := make([]float64, 0, len(xs))
+	for x := range xs {
+		axis = append(axis, x)
+	}
+	sort.Float64s(axis)
+	// Header.
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %20s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range axis {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range f.Series {
+			y, ok := lookupX(s, x)
+			if !ok {
+				fmt.Fprintf(&b, " %20s", "-")
+			} else {
+				fmt.Fprintf(&b, " %20.0f", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s", s.Name)
+	}
+	b.WriteByte('\n')
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	axis := make([]float64, 0, len(xs))
+	for x := range xs {
+		axis = append(axis, x)
+	}
+	sort.Float64s(axis)
+	for _, x := range axis {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			if y, ok := lookupX(s, x); ok {
+				fmt.Fprintf(&b, ",%g", y)
+			} else {
+				fmt.Fprintf(&b, ",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookupX(s *Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Table is a simple aligned text table for the "Table N" artefacts.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row (stringified cells).
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render prints the table with aligned columns.
+func (t *Table) Render() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n", t.Title)
+	for i, h := range t.Headers {
+		fmt.Fprintf(&b, "%-*s  ", width[i], h)
+	}
+	b.WriteByte('\n')
+	for i := range t.Headers {
+		fmt.Fprintf(&b, "%s  ", strings.Repeat("-", width[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) {
+				fmt.Fprintf(&b, "%-*s  ", width[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestHistogramConcurrentRecord checks the lock-free histogram loses no
+// observations under concurrent writers.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, perW = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			x := seed*2654435761 + 1
+			for i := 0; i < perW; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				h.Record(x % 1_000_000)
+			}
+		}(uint64(w) + 1)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perW {
+		t.Fatalf("count = %d, want %d", got, workers*perW)
+	}
+	if h.Mean() <= 0 {
+		t.Fatal("mean not positive")
+	}
+}
+
+// TestHistogramQuantileBounds is the testing/quick law: for any sample
+// set, every recorded value is ≤ the q=1 bound, and quantiles are
+// monotonic in q.
+func TestHistogramQuantileBounds(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		var max uint64
+		for _, v := range vals {
+			h.Record(uint64(v))
+			if uint64(v) > max {
+				max = uint64(v)
+			}
+		}
+		q100 := h.Quantile(1.0)
+		if q100 < max {
+			return false
+		}
+		prev := uint64(0)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyHistogram checks the zero-value histogram's accessors.
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+// TestFigureCSVShape checks CSV output has one header plus one row per
+// distinct x, and missing cells render empty.
+func TestFigureCSVShape(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	f.SeriesNamed("a").Add(1, 10)
+	f.SeriesNamed("a").Add(2, 20)
+	f.SeriesNamed("b").Add(2, 200) // b has no x=1 point
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3:\n%s", len(lines), csv)
+	}
+	if lines[0] != "x,a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "1,10," {
+		t.Fatalf("row %q, want missing b cell empty", lines[1])
+	}
+}
+
+// TestSeriesNamedIdempotent verifies SeriesNamed returns the same series
+// per name.
+func TestSeriesNamedIdempotent(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	s1 := f.SeriesNamed("s")
+	s2 := f.SeriesNamed("s")
+	if s1 != s2 {
+		t.Fatal("SeriesNamed created a duplicate")
+	}
+	if len(f.Series) != 1 {
+		t.Fatalf("series count = %d", len(f.Series))
+	}
+}
+
+// TestTableRenderAlignment checks rows wider than headers still render.
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow("longvalue", "x")
+	tbl.AddRow("y", "longervalue")
+	out := tbl.Render()
+	if !strings.Contains(out, "longvalue") || !strings.Contains(out, "longervalue") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+		if len(line) == 0 {
+			t.Fatal("blank table line")
+		}
+	}
+}

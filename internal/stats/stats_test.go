@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for _, v := range []uint64{1, 2, 4, 8, 16, 1000, 1000000} {
+		h.Record(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if m := h.Mean(); m < 143000 || m > 143100 {
+		t.Fatalf("Mean = %f", m)
+	}
+	// Median upper bound must cover the middle value (8).
+	if q := h.Quantile(0.5); q < 8 {
+		t.Fatalf("Quantile(0.5) = %d", q)
+	}
+	if q := h.Quantile(1.0); q < 1000000 {
+		t.Fatalf("Quantile(1.0) = %d", q)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	h := &Histogram{}
+	f := func(vals []uint16) bool {
+		for _, v := range vals {
+			h.Record(uint64(v) + 1)
+		}
+		return h.Quantile(0.1) <= h.Quantile(0.5) &&
+			h.Quantile(0.5) <= h.Quantile(0.99)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure(t *testing.T) {
+	f := NewFigure("Test fig", "x", "y")
+	s1 := f.SeriesNamed("alpha")
+	s1.Add(1, 100)
+	s1.Add(2, 200)
+	f.SeriesNamed("beta").Add(1, 50)
+	if f.SeriesNamed("alpha") != s1 {
+		t.Fatal("SeriesNamed created a duplicate")
+	}
+	out := f.Render()
+	for _, want := range []string{"Test fig", "alpha", "beta", "100", "200", "50", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render lacks %q:\n%s", want, out)
+		}
+	}
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "x,alpha,beta\n") {
+		t.Fatalf("csv header: %q", csv)
+	}
+	if !strings.Contains(csv, "1,100,50") || !strings.Contains(csv, "2,200,") {
+		t.Fatalf("csv body: %q", csv)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := NewTable("T", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("a-much-longer-name", "22")
+	out := tbl.Render()
+	for _, want := range []string{"## T", "name", "alpha", "a-much-longer-name", "22", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table lacks %q:\n%s", want, out)
+		}
+	}
+	// Aligned: the header line must be at least as wide as the longest
+	// name cell.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("table too short:\n%s", out)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[uint64]int{1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10}
+	for v, want := range cases {
+		if got := log2(v); got != want {
+			t.Errorf("log2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

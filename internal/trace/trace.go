@@ -1,0 +1,115 @@
+// Package trace provides a lock-free ring-buffer recorder for
+// transaction attempt events — the observability layer behind debugging
+// STM protocol behaviour and explaining tuner decisions. Install a
+// Recorder with Engine.SetTracer (or stm.Runtime.StartTracing), run the
+// workload, then read back the tail of attempts or an aggregate summary.
+//
+// Recording is wait-free per event (one atomic counter increment and a
+// slot store) and the buffer is fixed-size, so tracing can stay enabled
+// in long experiments without growing memory.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Recorder is a fixed-capacity ring buffer of attempt events implementing
+// core.TxTracer. Writers claim slots with an atomic counter; a torn read
+// of the currently-written slot is possible while recording is live (the
+// documented trade of sampling observability), but Snapshot of a stopped
+// recorder is exact.
+type Recorder struct {
+	events []atomic.Pointer[core.AttemptEvent]
+	next   atomic.Uint64
+
+	commits atomic.Uint64
+	aborts  [core.NumAbortCauses]atomic.Uint64
+	retried atomic.Uint64 // attempts with Attempt > 1
+	maxOps  atomic.Uint64
+}
+
+// NewRecorder creates a recorder keeping the last capacity events
+// (rounded up to at least 1).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{events: make([]atomic.Pointer[core.AttemptEvent], capacity)}
+}
+
+// TraceAttempt implements core.TxTracer.
+func (r *Recorder) TraceAttempt(ev core.AttemptEvent) {
+	i := r.next.Add(1) - 1
+	e := ev // heap copy per event: slots hand out stable pointers
+	r.events[i%uint64(len(r.events))].Store(&e)
+	if ev.Cause == core.AbortNone {
+		r.commits.Add(1)
+	} else {
+		r.aborts[ev.Cause].Add(1)
+	}
+	if ev.Attempt > 1 {
+		r.retried.Add(1)
+	}
+	for {
+		cur := r.maxOps.Load()
+		if ev.Ops <= cur || r.maxOps.CompareAndSwap(cur, ev.Ops) {
+			break
+		}
+	}
+}
+
+// Len returns the number of events recorded so far (monotonic; may
+// exceed capacity).
+func (r *Recorder) Len() uint64 { return r.next.Load() }
+
+// Commits returns the number of committed attempts recorded.
+func (r *Recorder) Commits() uint64 { return r.commits.Load() }
+
+// Aborts returns the recorded abort count for one cause.
+func (r *Recorder) Aborts(cause core.AbortCause) uint64 {
+	return r.aborts[cause].Load()
+}
+
+// Retried returns the number of recorded attempts that were retries.
+func (r *Recorder) Retried() uint64 { return r.retried.Load() }
+
+// MaxOps returns the largest per-attempt operation count seen.
+func (r *Recorder) MaxOps() uint64 { return r.maxOps.Load() }
+
+// Snapshot returns the buffered events oldest-first. Call it after
+// removing the recorder from the engine (SetTracer(nil)) for an exact
+// tail; a live snapshot may miss events being written concurrently.
+func (r *Recorder) Snapshot() []core.AttemptEvent {
+	total := r.next.Load()
+	n := uint64(len(r.events))
+	start := uint64(0)
+	if total > n {
+		start = total - n
+	}
+	out := make([]core.AttemptEvent, 0, total-start)
+	for i := start; i < total; i++ {
+		if p := r.events[i%n].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// Summary renders an aggregate report: outcome counts per cause, retry
+// fraction, and the largest transaction seen.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	total := r.next.Load()
+	fmt.Fprintf(&b, "trace: %d attempts, %d commits, %d retries, max %d ops/attempt\n",
+		total, r.commits.Load(), r.retried.Load(), r.maxOps.Load())
+	for c := core.AbortCause(1); c < core.NumAbortCauses; c++ {
+		if n := r.aborts[c].Load(); n > 0 {
+			fmt.Fprintf(&b, "  aborts[%s] = %d\n", c, n)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+func newEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	arena, err := memory.NewArena(memory.Config{CapacityWords: 1 << 18, BlockShift: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewEngine(arena, core.DefaultPartConfig())
+}
+
+// TestRecorderCountsCommitsExactly installs a recorder, runs a known
+// number of conflict-free transactions, and checks the books.
+func TestRecorderCountsCommitsExactly(t *testing.T) {
+	e := newEngine(t)
+	r := NewRecorder(64)
+	e.SetTracer(r)
+	th := e.MustAttachThread()
+	defer e.DetachThread(th)
+	var a memory.Addr
+	th.Atomic(func(tx *core.Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 0)
+	})
+	const n = 100
+	for i := 0; i < n; i++ {
+		th.Atomic(func(tx *core.Tx) { tx.Store(a, tx.Load(a)+1) })
+	}
+	e.SetTracer(nil)
+	if got := r.Commits(); got != n+1 {
+		t.Fatalf("commits = %d, want %d", got, n+1)
+	}
+	if r.Retried() != 0 {
+		t.Fatalf("retries = %d on a conflict-free run", r.Retried())
+	}
+	if r.MaxOps() < 2 {
+		t.Fatalf("maxOps = %d, want >= 2", r.MaxOps())
+	}
+	if !strings.Contains(r.Summary(), "commits") {
+		t.Fatal("summary missing commits line")
+	}
+}
+
+// TestRecorderSeesAborts forces an abort and checks cause accounting and
+// the retry flag.
+func TestRecorderSeesAborts(t *testing.T) {
+	e := newEngine(t)
+	r := NewRecorder(16)
+	e.SetTracer(r)
+	th := e.MustAttachThread()
+	defer e.DetachThread(th)
+	var a memory.Addr
+	th.Atomic(func(tx *core.Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 0)
+	})
+	attempts := 0
+	th.Atomic(func(tx *core.Tx) {
+		attempts++
+		if attempts == 1 {
+			tx.Load(a)
+			tx.Abort()
+		}
+		tx.Load(a)
+	})
+	e.SetTracer(nil)
+	if got := r.Aborts(core.AbortExplicit); got != 1 {
+		t.Fatalf("explicit aborts = %d, want 1", got)
+	}
+	if r.Retried() != 1 {
+		t.Fatalf("retries = %d, want 1", r.Retried())
+	}
+	events := r.Snapshot()
+	foundRetry := false
+	for _, ev := range events {
+		if ev.Attempt == 2 && ev.Cause == core.AbortNone {
+			foundRetry = true
+		}
+	}
+	if !foundRetry {
+		t.Fatalf("no committed retry in snapshot: %+v", events)
+	}
+}
+
+// TestRecorderRingWraps records more events than capacity and checks the
+// snapshot holds exactly the newest events.
+func TestRecorderRingWraps(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 1; i <= 20; i++ {
+		r.TraceAttempt(core.AttemptEvent{Slot: 0, Attempt: 1, Cause: core.AbortNone, Ops: uint64(i)})
+	}
+	if r.Len() != 20 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot = %d events, want 8", len(snap))
+	}
+	for i, ev := range snap {
+		if want := uint64(13 + i); ev.Ops != want {
+			t.Fatalf("snapshot[%d].Ops = %d, want %d", i, ev.Ops, want)
+		}
+	}
+}
+
+// TestRecorderConcurrent hammers the recorder from many goroutines
+// through real transactions; totals must be consistent.
+func TestRecorderConcurrent(t *testing.T) {
+	e := newEngine(t)
+	r := NewRecorder(1024)
+	e.SetTracer(r)
+	setup := e.MustAttachThread()
+	var a memory.Addr
+	setup.Atomic(func(tx *core.Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 0)
+	})
+	e.DetachThread(setup)
+	const workers, perW = 6, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := e.MustAttachThread()
+			defer e.DetachThread(th)
+			for i := 0; i < perW; i++ {
+				th.Atomic(func(tx *core.Tx) { tx.Store(a, tx.Load(a)+1) })
+			}
+		}()
+	}
+	wg.Wait()
+	e.SetTracer(nil)
+	// Every worker transaction commits exactly once; the setup tx is +1.
+	if got := r.Commits(); got != workers*perW+1 {
+		t.Fatalf("commits = %d, want %d", got, workers*perW+1)
+	}
+	var aborts uint64
+	for c := core.AbortCause(1); c < core.NumAbortCauses; c++ {
+		aborts += r.Aborts(c)
+	}
+	if r.Len() != r.Commits()+aborts {
+		t.Fatalf("len %d != commits %d + aborts %d", r.Len(), r.Commits(), aborts)
+	}
+}
+
+// TestTracerRemovalStopsRecording verifies SetTracer(nil) detaches.
+func TestTracerRemovalStopsRecording(t *testing.T) {
+	e := newEngine(t)
+	r := NewRecorder(16)
+	e.SetTracer(r)
+	th := e.MustAttachThread()
+	defer e.DetachThread(th)
+	var a memory.Addr
+	th.Atomic(func(tx *core.Tx) {
+		a = tx.Alloc(memory.DefaultSite, 1)
+		tx.Store(a, 0)
+	})
+	before := r.Len()
+	e.SetTracer(nil)
+	for i := 0; i < 50; i++ {
+		th.Atomic(func(tx *core.Tx) { tx.Store(a, tx.Load(a)+1) })
+	}
+	if r.Len() != before {
+		t.Fatalf("recorder grew after removal: %d -> %d", before, r.Len())
+	}
+}

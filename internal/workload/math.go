@@ -1,0 +1,54 @@
+package workload
+
+import "math"
+
+// mathPow isolates the single math.Pow dependency of the zipf generator.
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }
+
+// Phase describes one segment of a phase schedule.
+type Phase struct {
+	// Ops is the number of operations the phase lasts (per thread).
+	Ops int
+	// UpdateRatio is the operation mix during the phase.
+	UpdateRatio float64
+	// Label names the phase in reports.
+	Label string
+}
+
+// Schedule is a cyclic phase schedule: the workload runs phase 0 for its
+// Ops, then phase 1, ..., then wraps around.
+type Schedule struct {
+	Phases []Phase
+	total  int
+}
+
+// NewSchedule builds a schedule; it panics on an empty phase list (a
+// configuration error in the experiment definitions).
+func NewSchedule(phases ...Phase) *Schedule {
+	if len(phases) == 0 {
+		panic("workload: empty phase schedule")
+	}
+	s := &Schedule{Phases: phases}
+	for _, p := range phases {
+		if p.Ops <= 0 {
+			panic("workload: phase with non-positive length")
+		}
+		s.total += p.Ops
+	}
+	return s
+}
+
+// At returns the phase active at operation index i (cyclic).
+func (s *Schedule) At(i int) Phase {
+	i %= s.total
+	for _, p := range s.Phases {
+		if i < p.Ops {
+			return p
+		}
+		i -= p.Ops
+	}
+	return s.Phases[len(s.Phases)-1] // unreachable
+}
+
+// CycleOps returns the total operations in one schedule cycle.
+func (s *Schedule) CycleOps() int { return s.total }

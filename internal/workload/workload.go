@@ -1,0 +1,188 @@
+// Package workload provides deterministic workload generation for the
+// benchmarks: per-thread PRNGs, key distributions (uniform, zipfian,
+// hotspot) and operation mixes, plus phase schedules for the dynamic
+// experiments.
+package workload
+
+// Rng is a splitmix64 PRNG: tiny state, good quality, deterministic per
+// seed — one per worker thread so runs are reproducible regardless of
+// scheduling.
+type Rng struct {
+	state uint64
+}
+
+// NewRng returns a generator seeded with seed.
+func NewRng(seed uint64) *Rng {
+	return &Rng{state: seed*0x9E3779B97F4A7C15 + 0x1234567}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rng) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n).
+func (r *Rng) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rng) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// KeyGen draws keys for set operations.
+type KeyGen interface {
+	// Next draws a key using r.
+	Next(r *Rng) uint64
+	// Range returns the size of the key space.
+	Range() uint64
+}
+
+// Uniform draws keys uniformly from [0, N).
+type Uniform struct{ N uint64 }
+
+// Next implements KeyGen.
+func (u Uniform) Next(r *Rng) uint64 { return r.Uint64() % u.N }
+
+// Range implements KeyGen.
+func (u Uniform) Range() uint64 { return u.N }
+
+// Hotspot sends HotProb of accesses to the first HotFrac of the key
+// space — the classic skew model for contention experiments.
+type Hotspot struct {
+	N       uint64
+	HotFrac float64 // fraction of keys that are hot (e.g. 0.1)
+	HotProb float64 // probability an access goes to a hot key (e.g. 0.9)
+}
+
+// Next implements KeyGen.
+func (h Hotspot) Next(r *Rng) uint64 {
+	hotKeys := uint64(float64(h.N) * h.HotFrac)
+	if hotKeys == 0 {
+		hotKeys = 1
+	}
+	if hotKeys >= h.N {
+		// Degenerate: the whole space is hot.
+		return r.Uint64() % h.N
+	}
+	if r.Float64() < h.HotProb {
+		return r.Uint64() % hotKeys
+	}
+	return hotKeys + r.Uint64()%(h.N-hotKeys)
+}
+
+// Range implements KeyGen.
+func (h Hotspot) Range() uint64 { return h.N }
+
+// Zipf draws keys with a zipfian distribution of exponent S over [0, N)
+// using Gray's rejection-inversion-free approximation: a precomputed
+// cumulative table for small N, falling back to a power-law transform for
+// large N. Good enough for benchmark skew; not a statistics library.
+type Zipf struct {
+	N   uint64
+	S   float64
+	cdf []float64 // built lazily for N <= zipfTableMax
+}
+
+const zipfTableMax = 1 << 16
+
+// NewZipf builds a zipfian generator (s > 0; s=0 degrades to uniform).
+func NewZipf(n uint64, s float64) *Zipf {
+	z := &Zipf{N: n, S: s}
+	if n <= zipfTableMax && s > 0 {
+		z.cdf = make([]float64, n)
+		var sum float64
+		for i := uint64(0); i < n; i++ {
+			sum += 1 / pow(float64(i+1), s)
+			z.cdf[i] = sum
+		}
+		for i := range z.cdf {
+			z.cdf[i] /= sum
+		}
+	}
+	return z
+}
+
+// Next implements KeyGen.
+func (z *Zipf) Next(r *Rng) uint64 {
+	if z.S <= 0 {
+		return r.Uint64() % z.N
+	}
+	u := r.Float64()
+	if z.cdf != nil {
+		// Binary search the CDF.
+		lo, hi := 0, len(z.cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if z.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return uint64(lo)
+	}
+	// Large N: inverse-power transform (approximate zipf).
+	x := pow(1-u, -1/(z.S))
+	k := uint64(x) - 1
+	if k >= z.N {
+		k = z.N - 1
+	}
+	return k
+}
+
+// Range implements KeyGen.
+func (z *Zipf) Range() uint64 { return z.N }
+
+// pow is a small local x^y for y>0 via exp/log-free repeated operations;
+// math.Pow would be fine but this keeps the package dependency-free and
+// deterministic across platforms.
+func pow(x, y float64) float64 {
+	// Handle the common fast cases exactly.
+	if y == 1 {
+		return x
+	}
+	if y == 2 {
+		return x * x
+	}
+	// exp(y*ln(x)) via the standard library is deterministic enough; use
+	// a simple series-free approach: math is allowed, but keep one spot.
+	return mathPow(x, y)
+}
+
+// Op is one generated set operation.
+type Op uint8
+
+// Operation kinds produced by Mix.
+const (
+	OpLookup Op = iota
+	OpInsert
+	OpRemove
+)
+
+// Mix generates the standard intset operation mix: UpdateRatio of
+// operations are updates, split evenly between inserts and removes so the
+// set size stays stationary.
+type Mix struct {
+	UpdateRatio float64 // 0..1
+}
+
+// Next draws the next operation kind.
+func (m Mix) Next(r *Rng) Op {
+	u := r.Float64()
+	if u >= m.UpdateRatio {
+		return OpLookup
+	}
+	if u < m.UpdateRatio/2 {
+		return OpInsert
+	}
+	return OpRemove
+}

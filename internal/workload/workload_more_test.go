@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestKeyGenRangeProperty is the testing/quick law: every generator's
+// Next stays strictly inside [0, Range()) for any seed.
+func TestKeyGenRangeProperty(t *testing.T) {
+	gens := []KeyGen{
+		Uniform{N: 100},
+		Hotspot{N: 100, HotFrac: 0.1, HotProb: 0.9},
+		NewZipf(100, 0.8),
+		NewZipf(1<<20, 1.1),
+	}
+	f := func(seed uint64) bool {
+		r := NewRng(seed)
+		for _, g := range gens {
+			for i := 0; i < 200; i++ {
+				if k := g.Next(r); k >= g.Range() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHotspotExtremes checks degenerate hotspot parameters stay safe.
+func TestHotspotExtremes(t *testing.T) {
+	r := NewRng(1)
+	for _, h := range []Hotspot{
+		{N: 10, HotFrac: 0, HotProb: 1},   // empty hot set
+		{N: 10, HotFrac: 1, HotProb: 0.5}, // everything hot
+		{N: 1, HotFrac: 0.5, HotProb: 0.5},
+	} {
+		for i := 0; i < 500; i++ {
+			if k := h.Next(r); k >= h.N {
+				t.Fatalf("hotspot %+v emitted %d", h, k)
+			}
+		}
+	}
+}
+
+// TestZipfMonotoneSkew checks a higher exponent concentrates more mass on
+// the head key.
+func TestZipfMonotoneSkew(t *testing.T) {
+	const n, draws = 256, 40000
+	headShare := func(s float64) float64 {
+		z := NewZipf(n, s)
+		r := NewRng(7)
+		head := 0
+		for i := 0; i < draws; i++ {
+			if z.Next(r) == 0 {
+				head++
+			}
+		}
+		return float64(head) / draws
+	}
+	low, high := headShare(0.5), headShare(1.2)
+	if high <= low {
+		t.Fatalf("head share did not grow with skew: s=0.5 -> %.4f, s=1.2 -> %.4f", low, high)
+	}
+}
+
+// TestMixZeroAndFull checks the degenerate operation mixes.
+func TestMixZeroAndFull(t *testing.T) {
+	r := NewRng(3)
+	ro := Mix{UpdateRatio: 0}
+	for i := 0; i < 200; i++ {
+		if op := ro.Next(r); op != OpLookup {
+			t.Fatalf("0%% update mix emitted %v", op)
+		}
+	}
+	wo := Mix{UpdateRatio: 1}
+	for i := 0; i < 200; i++ {
+		if op := wo.Next(r); op == OpLookup {
+			t.Fatal("100% update mix emitted a lookup")
+		}
+	}
+}
+
+// TestRngStreamsIndependent verifies different seeds do not produce the
+// same stream (collision smoke test).
+func TestRngStreamsIndependent(t *testing.T) {
+	a, b := NewRng(1), NewRng(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d collisions in 100 draws between different seeds", same)
+	}
+}

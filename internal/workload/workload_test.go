@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRngDeterminism(t *testing.T) {
+	a, b := NewRng(42), NewRng(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRng(43)
+	same := 0
+	a = NewRng(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestRngRanges(t *testing.T) {
+	r := NewRng(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Fatal("Intn of non-positive n must be 0")
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	r := NewRng(7)
+	g := Uniform{N: 16}
+	seen := make(map[uint64]int)
+	for i := 0; i < 16000; i++ {
+		k := g.Next(r)
+		if k >= 16 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("only %d distinct keys", len(seen))
+	}
+	for k, n := range seen {
+		if n < 500 || n > 1500 {
+			t.Fatalf("key %d drawn %d times (expected ~1000)", k, n)
+		}
+	}
+	if g.Range() != 16 {
+		t.Fatal("Range")
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	r := NewRng(3)
+	g := Hotspot{N: 100, HotFrac: 0.1, HotProb: 0.9}
+	hot := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		k := g.Next(r)
+		if k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k < 10 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	r := NewRng(11)
+	z := NewZipf(1000, 1.0)
+	counts := make([]int, 1000)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		k := z.Next(r)
+		if k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Key 0 must dominate: for s=1, N=1000, P(0) ~ 1/H(1000) ~ 0.133.
+	if counts[0] < draws/15 {
+		t.Fatalf("key 0 drawn %d times, want > %d", counts[0], draws/15)
+	}
+	if counts[0] <= counts[500] {
+		t.Fatal("no skew: head not heavier than tail")
+	}
+	if z.Range() != 1000 {
+		t.Fatal("Range")
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	r := NewRng(5)
+	z := NewZipf(64, 0) // s=0 → uniform
+	seen := make(map[uint64]bool)
+	for i := 0; i < 5000; i++ {
+		seen[z.Next(r)] = true
+	}
+	if len(seen) != 64 {
+		t.Fatalf("uniform fallback covered %d/64 keys", len(seen))
+	}
+}
+
+func TestZipfLargeN(t *testing.T) {
+	r := NewRng(9)
+	z := NewZipf(1<<20, 1.2) // beyond table threshold
+	for i := 0; i < 10000; i++ {
+		if k := z.Next(r); k >= 1<<20 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	r := NewRng(13)
+	m := Mix{UpdateRatio: 0.4}
+	var look, ins, rem int
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		switch m.Next(r) {
+		case OpLookup:
+			look++
+		case OpInsert:
+			ins++
+		case OpRemove:
+			rem++
+		}
+	}
+	if f := float64(look) / draws; f < 0.57 || f > 0.63 {
+		t.Fatalf("lookup fraction %.3f, want ~0.6", f)
+	}
+	if f := float64(ins) / draws; f < 0.17 || f > 0.23 {
+		t.Fatalf("insert fraction %.3f, want ~0.2", f)
+	}
+	if f := float64(rem) / draws; f < 0.17 || f > 0.23 {
+		t.Fatalf("remove fraction %.3f, want ~0.2", f)
+	}
+}
+
+func TestMixProperty(t *testing.T) {
+	// Property: insert and remove fractions stay balanced for any ratio.
+	f := func(seed uint64, ratioRaw uint8) bool {
+		ratio := float64(ratioRaw%101) / 100
+		r := NewRng(seed)
+		m := Mix{UpdateRatio: ratio}
+		var upd int
+		const draws = 4000
+		for i := 0; i < draws; i++ {
+			if m.Next(r) != OpLookup {
+				upd++
+			}
+		}
+		got := float64(upd) / draws
+		return got > ratio-0.06 && got < ratio+0.06
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	s := NewSchedule(
+		Phase{Ops: 10, UpdateRatio: 0.1, Label: "read"},
+		Phase{Ops: 20, UpdateRatio: 0.9, Label: "write"},
+	)
+	if s.CycleOps() != 30 {
+		t.Fatalf("CycleOps = %d", s.CycleOps())
+	}
+	cases := []struct {
+		i    int
+		want string
+	}{
+		{0, "read"}, {9, "read"}, {10, "write"}, {29, "write"},
+		{30, "read"}, {45, "write"}, {60, "read"},
+	}
+	for _, c := range cases {
+		if got := s.At(c.i).Label; got != c.want {
+			t.Errorf("At(%d) = %s, want %s", c.i, got, c.want)
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { NewSchedule() })
+	mustPanic(func() { NewSchedule(Phase{Ops: 0}) })
+}

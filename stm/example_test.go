@@ -1,0 +1,111 @@
+package stm_test
+
+import (
+	"fmt"
+
+	"repro/stm"
+	"repro/txds"
+)
+
+// Example shows the smallest complete use of the runtime: allocate a
+// word, update it transactionally, read it back.
+func Example() {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+	site := rt.RegisterSite("example.counter")
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+
+	var counter stm.Addr
+	th.Atomic(func(tx *stm.Tx) {
+		counter = tx.Alloc(site, 1)
+		tx.Store(counter, 0)
+	})
+	for i := 0; i < 10; i++ {
+		th.Atomic(func(tx *stm.Tx) { tx.Store(counter, tx.Load(counter)+1) })
+	}
+	th.ReadOnlyAtomic(func(tx *stm.Tx) { fmt.Println(tx.Load(counter)) })
+	// Output: 10
+}
+
+// ExampleRuntime_StopProfilingAndPartition shows automatic partition
+// discovery: two unrelated structures end up in two partitions.
+func ExampleRuntime_StopProfilingAndPartition() {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 18})
+	rt.StartProfiling()
+	th := rt.MustAttach()
+	var tree *txds.RBTree
+	var queue *txds.Queue
+	th.Atomic(func(tx *stm.Tx) {
+		tree = txds.NewRBTree(tx, rt, "orders.index")
+		queue = txds.NewQueue(tx, rt, "orders.inbox")
+	})
+	th.Atomic(func(tx *stm.Tx) {
+		tree.Insert(tx, 1, 100)
+		queue.Enqueue(tx, 1)
+	})
+	rt.Detach(th)
+	plan, err := rt.StopProfilingAndPartition()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("partitions: %d\n", plan.NumPartitions()-1) // minus the global default
+	// Output: partitions: 2
+}
+
+// ExampleRuntime_ManualPartition shows the explicit grouping escape hatch
+// with a per-partition configuration override.
+func ExampleRuntime_ManualPartition() {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+	rt.RegisterSite("hot.cell")
+	rt.RegisterSite("cold.cell")
+	if _, err := rt.ManualPartition(map[string][]string{
+		"hot":  {"hot.cell"},
+		"cold": {"cold.cell"},
+	}); err != nil {
+		panic(err)
+	}
+	// Give the hot partition visible reads.
+	for id, name := range rt.PartitionNames() {
+		if name == "hot" {
+			cfg, _ := rt.PartitionConfig(stm.PartID(id))
+			cfg.Read = stm.VisibleReads
+			if err := rt.Reconfigure(stm.PartID(id), cfg); err != nil {
+				panic(err)
+			}
+			fmt.Println("hot partition:", cfg.Read)
+		}
+	}
+	// Output: hot partition: visible
+}
+
+// ExampleThread_AtomicErr shows aborting a transaction from user code:
+// the error is returned and all effects are discarded.
+func ExampleThread_AtomicErr() {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+	site := rt.RegisterSite("example.balance")
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+
+	var balance stm.Addr
+	th.Atomic(func(tx *stm.Tx) {
+		balance = tx.Alloc(site, 1)
+		tx.Store(balance, 30)
+	})
+	withdraw := func(amount uint64) error {
+		return th.AtomicErr(func(tx *stm.Tx) error {
+			b := tx.Load(balance)
+			if b < amount {
+				return fmt.Errorf("insufficient funds: %d < %d", b, amount)
+			}
+			tx.Store(balance, b-amount)
+			return nil
+		})
+	}
+	fmt.Println(withdraw(20))
+	fmt.Println(withdraw(20))
+	th.ReadOnlyAtomic(func(tx *stm.Tx) { fmt.Println("balance:", tx.Load(balance)) })
+	// Output:
+	// <nil>
+	// insufficient funds: 10 < 20
+	// balance: 10
+}

@@ -1,0 +1,317 @@
+package stm_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/stm"
+)
+
+// TestUnPartitionRestoresSingleGlobal checks the partition→unpartition
+// round trip: after UnPartition every address routes to the global
+// partition again and transactions still run.
+func TestUnPartitionRestoresSingleGlobal(t *testing.T) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+	rt.StartProfiling()
+	sA := rt.RegisterSite("up.a")
+	sB := rt.RegisterSite("up.b")
+	th := rt.MustAttach()
+	var a, b stm.Addr
+	th.Atomic(func(tx *stm.Tx) {
+		a = tx.Alloc(sA, 2)
+		b = tx.Alloc(sB, 2)
+		tx.StoreAddr(a, a+1) // self-edges so both sites appear in the graph
+		tx.StoreAddr(b, b+1)
+	})
+	rt.Detach(th)
+	if _, err := rt.StopProfilingAndPartition(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumPartitions() < 2 {
+		t.Fatalf("expected >1 partitions, got %d", rt.NumPartitions())
+	}
+	if err := rt.UnPartition(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.PartitionOf(a); got != stm.GlobalPartition {
+		t.Fatalf("a in partition %d after UnPartition", got)
+	}
+	if got := rt.PartitionOf(b); got != stm.GlobalPartition {
+		t.Fatalf("b in partition %d after UnPartition", got)
+	}
+	th = rt.MustAttach()
+	defer rt.Detach(th)
+	th.Atomic(func(tx *stm.Tx) { tx.Store(a, 42) })
+	th.Atomic(func(tx *stm.Tx) {
+		if tx.Load(a) != 42 {
+			t.Error("lost store after UnPartition")
+		}
+	})
+}
+
+// TestPartitionNamesAndConfig covers the read-side inspection surface.
+func TestPartitionNamesAndConfig(t *testing.T) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+	rt.RegisterSite("pn.x")
+	rt.RegisterSite("pn.y")
+	if _, err := rt.ManualPartition(map[string][]string{
+		"left":  {"pn.x"},
+		"right": {"pn.y"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	names := rt.PartitionNames()
+	if len(names) != rt.NumPartitions() {
+		t.Fatalf("names %d != partitions %d", len(names), rt.NumPartitions())
+	}
+	foundLeft := false
+	for id := range names {
+		cfg, err := rt.PartitionConfig(stm.PartID(id))
+		if err != nil {
+			t.Fatalf("PartitionConfig(%d): %v", id, err)
+		}
+		if cfg.String() == "" {
+			t.Fatal("empty config string")
+		}
+		if names[id] == "left" {
+			foundLeft = true
+		}
+	}
+	if !foundLeft {
+		t.Fatalf("manual group name not in %v", names)
+	}
+	if _, err := rt.PartitionConfig(stm.PartID(99)); err == nil {
+		t.Fatal("PartitionConfig(99) succeeded")
+	}
+}
+
+// TestManualPartitionErrors covers the error paths of the manual grouping
+// API.
+func TestManualPartitionErrors(t *testing.T) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 14})
+	if _, err := rt.ManualPartition(map[string][]string{"g": {"nosuch.site"}}); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	rt.RegisterSite("mp.a")
+	if _, err := rt.ManualPartition(map[string][]string{
+		"g1": {"mp.a"},
+		"g2": {"mp.a"},
+	}); err == nil {
+		t.Fatal("site claimed by two groups accepted")
+	}
+}
+
+// TestHeapInUseBlocksGrows verifies the heap accounting surface.
+func TestHeapInUseBlocksGrows(t *testing.T) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16, BlockShift: 8})
+	before := rt.HeapInUseBlocks()
+	site := rt.RegisterSite("hb")
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	th.Atomic(func(tx *stm.Tx) {
+		for i := 0; i < 10; i++ {
+			tx.Alloc(site, 200) // most of a block each
+		}
+	})
+	if after := rt.HeapInUseBlocks(); after <= before {
+		t.Fatalf("blocks in use did not grow: %d -> %d", before, after)
+	}
+}
+
+// TestAtomicErrPropagatesUserError checks user errors abort and surface.
+func TestAtomicErrPropagatesUserError(t *testing.T) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 14})
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	site := rt.RegisterSite("ae")
+	var a stm.Addr
+	th.Atomic(func(tx *stm.Tx) {
+		a = tx.Alloc(site, 1)
+		tx.Store(a, 1)
+	})
+	sentinel := errSentinel{}
+	err := th.AtomicErr(func(tx *stm.Tx) error {
+		tx.Store(a, 999)
+		return sentinel
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	th.Atomic(func(tx *stm.Tx) {
+		if got := tx.Load(a); got != 1 {
+			t.Fatalf("error abort leaked store: %d", got)
+		}
+	})
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }
+
+// TestReconfigureWhileDetachedThreads reconfigures with no attached
+// threads (quiescence must not hang on an empty thread set).
+func TestReconfigureWhileDetachedThreads(t *testing.T) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 14})
+	cfg := stm.DefaultPartConfig()
+	cfg.Read = stm.VisibleReads
+	if err := rt.Reconfigure(stm.GlobalPartition, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.PartitionConfig(stm.GlobalPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Read != stm.VisibleReads {
+		t.Fatalf("read mode = %v", got.Read)
+	}
+}
+
+// TestTracingLifecycle checks StartTracing records attempts and
+// StopTracing detaches cleanly.
+func TestTracingLifecycle(t *testing.T) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 14})
+	site := rt.RegisterSite("tl")
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	rec := rt.StartTracing(128)
+	var a stm.Addr
+	th.Atomic(func(tx *stm.Tx) {
+		a = tx.Alloc(site, 1)
+		tx.Store(a, 0)
+	})
+	for i := 0; i < 20; i++ {
+		th.Atomic(func(tx *stm.Tx) { tx.Store(a, tx.Load(a)+1) })
+	}
+	rt.StopTracing()
+	if got := rec.Commits(); got != 21 {
+		t.Fatalf("traced commits = %d, want 21", got)
+	}
+	if len(rec.Snapshot()) != 21 {
+		t.Fatalf("snapshot = %d events", len(rec.Snapshot()))
+	}
+	before := rec.Len()
+	th.Atomic(func(tx *stm.Tx) { tx.Store(a, 0) })
+	if rec.Len() != before {
+		t.Fatal("recorder still attached after StopTracing")
+	}
+}
+
+// TestPlanPersistenceAcrossRuntimes saves a discovered-and-specialized
+// plan from one runtime and warm-starts a second runtime with it: the
+// partitioning and the tuned configuration must carry over.
+func TestPlanPersistenceAcrossRuntimes(t *testing.T) {
+	// First run: discover, specialize, save.
+	rt1 := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+	rt1.StartProfiling()
+	for _, s := range []string{"pp.a.head", "pp.a.node", "pp.b.head", "pp.b.node"} {
+		rt1.RegisterSite(s)
+	}
+	th := rt1.MustAttach()
+	th.Atomic(func(tx *stm.Tx) {
+		sa, _ := rt1.Sites().Lookup("pp.a.head")
+		san, _ := rt1.Sites().Lookup("pp.a.node")
+		sb, _ := rt1.Sites().Lookup("pp.b.head")
+		sbn, _ := rt1.Sites().Lookup("pp.b.node")
+		a := tx.Alloc(sa, 1)
+		an := tx.Alloc(san, 1)
+		b := tx.Alloc(sb, 1)
+		bn := tx.Alloc(sbn, 1)
+		tx.StoreAddr(a, an)
+		tx.StoreAddr(b, bn)
+	})
+	rt1.Detach(th)
+	plan, err := rt1.StopProfilingAndPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Tune" partition 1 by hand (stands in for a tuner run).
+	cfg, err := rt1.PartitionConfig(stm.PartID(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Read = stm.VisibleReads
+	cfg.CM = stm.CMTimestamp
+	if err := rt1.Reconfigure(stm.PartID(1), cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rt1.SavePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second run: same sites (fresh runtime), load the plan.
+	rt2 := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+	for _, s := range []string{"pp.a.head", "pp.a.node", "pp.b.head", "pp.b.node"} {
+		rt2.RegisterSite(s)
+	}
+	loaded, err := rt2.LoadAndInstallPlan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load failed: %v\nsaved: %s", err, buf.String())
+	}
+	if loaded.NumPartitions() != plan.NumPartitions() {
+		t.Fatalf("partitions %d != %d", loaded.NumPartitions(), plan.NumPartitions())
+	}
+	// The tuned config must have carried over to the matching partition.
+	carried := false
+	for id := 0; id < rt2.NumPartitions(); id++ {
+		c, err := rt2.PartitionConfig(stm.PartID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Read == stm.VisibleReads && c.CM == stm.CMTimestamp {
+			carried = true
+		}
+	}
+	if !carried {
+		t.Fatalf("tuned configuration lost across runtimes\nsaved: %s", buf.String())
+	}
+	// And the reloaded runtime must still run transactions.
+	th2 := rt2.MustAttach()
+	defer rt2.Detach(th2)
+	site, _ := rt2.Sites().Lookup("pp.a.node")
+	th2.Atomic(func(tx *stm.Tx) {
+		a := tx.Alloc(site, 1)
+		tx.Store(a, 42)
+		if tx.Load(a) != 42 {
+			t.Error("lost store after plan reload")
+		}
+	})
+}
+
+// TestManyThreadsAttachDetachChurn churns attach/detach concurrently with
+// running transactions.
+func TestManyThreadsAttachDetachChurn(t *testing.T) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 18})
+	site := rt.RegisterSite("churn")
+	setup := rt.MustAttach()
+	var a stm.Addr
+	setup.Atomic(func(tx *stm.Tx) {
+		a = tx.Alloc(site, 1)
+		tx.Store(a, 0)
+	})
+	rt.Detach(setup)
+	const workers, rounds, perRound = 8, 20, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				th := rt.MustAttach()
+				for i := 0; i < perRound; i++ {
+					th.Atomic(func(tx *stm.Tx) { tx.Store(a, tx.Load(a)+1) })
+				}
+				rt.Detach(th)
+			}
+		}()
+	}
+	wg.Wait()
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	th.Atomic(func(tx *stm.Tx) {
+		if got := tx.Load(a); got != workers*rounds*perRound {
+			t.Fatalf("counter = %d, want %d", got, workers*rounds*perRound)
+		}
+	})
+}

@@ -1,0 +1,387 @@
+// Package stm is the public API of the partitioned software transactional
+// memory: a word-based STM (TinySTM family) whose heap is automatically
+// partitioned into independently tuned regions, reproducing Riegel,
+// Fetzer & Felber, "Automatic Data Partitioning in Software Transactional
+// Memories" (SPAA 2008).
+//
+// # Model
+//
+// The STM manages a word-addressable heap (package internal/memory):
+// objects are allocated at named allocation sites and addressed by Addr.
+// Worker goroutines attach a Thread and run transactions:
+//
+//	rt, _ := stm.New(stm.Config{HeapWords: 1 << 22})
+//	site := rt.RegisterSite("app.counter")
+//	th := rt.MustAttach()
+//	defer rt.Detach(th)
+//
+//	var c stm.Addr
+//	th.Atomic(func(tx *stm.Tx) {
+//		c = tx.Alloc(site, 1)
+//		tx.Store(c, 0)
+//	})
+//	th.Atomic(func(tx *stm.Tx) { tx.Store(c, tx.Load(c)+1) })
+//
+// # Partitioning
+//
+// A profiling run records which allocation sites are connected by stored
+// pointers (Tx.StoreAddr); connected sites form one logical data
+// structure. AutoPartition freezes those groups into partitions, each with
+// its own ownership-record table and concurrency-control configuration.
+// The runtime tuner (StartTuner) then adapts each partition independently:
+// read visibility, and conflict-detection granularity.
+//
+//	rt.StartProfiling()
+//	runWarmup()
+//	plan := rt.StopProfilingAndPartition()
+//	fmt.Print(plan.Describe(rt.Sites()))
+//	rt.StartTuner(stm.DefaultTunerConfig())
+//
+// All transactions remain serializable across partitions: a single global
+// time base orders commits, partitioning only splits conflict detection.
+package stm
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/partition"
+	"repro/internal/trace"
+	"repro/internal/tuning"
+)
+
+// Re-exported types: the facade keeps one import path for users while the
+// implementation lives in focused internal packages.
+type (
+	// Addr is a word address in the transactional heap; 0 is nil.
+	Addr = memory.Addr
+	// SiteID names an allocation site.
+	SiteID = memory.SiteID
+	// Tx is a transaction handle, valid inside an Atomic block.
+	Tx = core.Tx
+	// Thread is a per-goroutine transaction context.
+	Thread = core.Thread
+	// PartConfig is a partition's concurrency-control configuration.
+	PartConfig = core.PartConfig
+	// ReadMode selects invisible vs visible reads.
+	ReadMode = core.ReadMode
+	// AcquireMode selects encounter-time vs commit-time locking.
+	AcquireMode = core.AcquireMode
+	// WriteMode selects write-back vs write-through.
+	WriteMode = core.WriteMode
+	// CMPolicy selects the lock-conflict contention manager.
+	CMPolicy = core.CMPolicy
+	// ReaderPolicy arbitrates writers against visible readers.
+	ReaderPolicy = core.ReaderPolicy
+	// AbortCause classifies why an attempt aborted.
+	AbortCause = core.AbortCause
+	// PartID identifies a partition.
+	PartID = core.PartID
+	// PartStats is an aggregated statistics snapshot for one partition.
+	PartStats = core.PartStats
+	// Plan is a frozen site→partition assignment.
+	Plan = partition.Plan
+	// TunerConfig configures the runtime tuner.
+	TunerConfig = tuning.Config
+	// TunerDecision records one tuner actuation.
+	TunerDecision = tuning.Decision
+	// TraceRecorder is a ring-buffer recorder of transaction attempts.
+	TraceRecorder = trace.Recorder
+	// AttemptEvent is one traced transaction attempt outcome.
+	AttemptEvent = core.AttemptEvent
+)
+
+// Nil is the null heap address.
+const Nil = memory.Nil
+
+// Re-exported configuration enums.
+const (
+	InvisibleReads = core.InvisibleReads
+	VisibleReads   = core.VisibleReads
+	EncounterTime  = core.EncounterTime
+	CommitTime     = core.CommitTime
+	WriteBack      = core.WriteBack
+	WriteThrough   = core.WriteThrough
+	CMSuicide      = core.CMSuicide
+	CMSpin         = core.CMSpin
+	CMKarma        = core.CMKarma
+	CMAggressive   = core.CMAggressive
+	CMBackoff      = core.CMBackoff
+	CMTimestamp    = core.CMTimestamp
+
+	WriterKillsReaders    = core.WriterKillsReaders
+	WriterYieldsToReaders = core.WriterYieldsToReaders
+)
+
+// Abort causes, for indexing PartStats.Aborts.
+const (
+	AbortLockedOnRead  = core.AbortLockedOnRead
+	AbortLockedOnWrite = core.AbortLockedOnWrite
+	AbortValidation    = core.AbortValidation
+	AbortKilled        = core.AbortKilled
+	AbortReaderWall    = core.AbortReaderWall
+	AbortUpgrade       = core.AbortUpgrade
+	AbortExplicit      = core.AbortExplicit
+)
+
+// GlobalPartition is the id of the default partition.
+const GlobalPartition = core.GlobalPartition
+
+// MaxThreads is the maximum number of simultaneously attached threads.
+const MaxThreads = core.MaxThreads
+
+// DefaultPartConfig returns the TinySTM-style default configuration.
+func DefaultPartConfig() PartConfig { return core.DefaultPartConfig() }
+
+// DefaultTunerConfig returns the tuner defaults used in the experiments.
+func DefaultTunerConfig() TunerConfig { return tuning.DefaultConfig() }
+
+// Config configures a Runtime.
+type Config struct {
+	// HeapWords is the transactional heap capacity in 64-bit words
+	// (allocated eagerly). Default 1<<22 (32 MiB).
+	HeapWords uint64
+	// BlockShift is log2 of the heap block size in words (a block is the
+	// unit of site ownership). Default 12.
+	BlockShift uint
+	// Default is the initial configuration of the global partition (and
+	// of discovered partitions until the tuner specializes them).
+	// Zero value: DefaultPartConfig.
+	Default *PartConfig
+	// YieldEveryOps, when nonzero, enables interleaving simulation: each
+	// transactional operation becomes a scheduling point with probability
+	// 1/YieldEveryOps. Use on hosts with fewer cores than workers so
+	// transaction conflict windows actually overlap.
+	YieldEveryOps uint64
+}
+
+// Runtime owns the heap, the STM engine, the partition analyzer and the
+// tuner.
+type Runtime struct {
+	arena    *memory.Arena
+	eng      *core.Engine
+	analyzer *partition.Analyzer
+	tuner    *tuning.Tuner
+	baseCfg  PartConfig
+}
+
+// New creates a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.HeapWords == 0 {
+		cfg.HeapWords = 1 << 22
+	}
+	arena, err := memory.NewArena(memory.Config{
+		CapacityWords: cfg.HeapWords,
+		BlockShift:    cfg.BlockShift,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stm: %w", err)
+	}
+	base := core.DefaultPartConfig()
+	if cfg.Default != nil {
+		base = cfg.Default.Normalize()
+	}
+	rt := &Runtime{
+		arena:    arena,
+		eng:      core.NewEngine(arena, base),
+		analyzer: partition.NewAnalyzer(),
+		baseCfg:  base,
+	}
+	if cfg.YieldEveryOps > 0 {
+		rt.eng.SetYieldEveryOps(cfg.YieldEveryOps)
+	}
+	return rt, nil
+}
+
+// MustNew is New that panics on configuration error.
+func MustNew(cfg Config) *Runtime {
+	rt, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// RegisterSite returns the id for a named allocation site, creating it if
+// needed. Register sites at setup; allocation sites are the unit the
+// partition analysis groups.
+func (r *Runtime) RegisterSite(name string) SiteID {
+	return r.arena.Sites().Register(name)
+}
+
+// Sites exposes the site table (for reports).
+func (r *Runtime) Sites() *memory.Sites { return r.arena.Sites() }
+
+// Attach registers the calling goroutine and returns its Thread.
+func (r *Runtime) Attach() (*Thread, error) { return r.eng.AttachThread() }
+
+// MustAttach is Attach that panics when all thread slots are taken.
+func (r *Runtime) MustAttach() *Thread { return r.eng.MustAttachThread() }
+
+// Detach releases a thread's slot.
+func (r *Runtime) Detach(th *Thread) { r.eng.DetachThread(th) }
+
+// StartProfiling begins recording pointer-store connectivity for the
+// partition analysis. Run a representative warm-up workload while it is
+// active; this is the dynamic stand-in for the paper's compile-time pass.
+func (r *Runtime) StartProfiling() { r.eng.SetProfiler(r.analyzer, true) }
+
+// StopProfiling stops recording (without building a plan).
+func (r *Runtime) StopProfiling() { r.eng.SetProfiler(nil, false) }
+
+// BuildPlan freezes the analyzer's grouping into a Plan without
+// installing it; use plan.SetConfig to pre-seed per-partition
+// configurations, then InstallPlan.
+func (r *Runtime) BuildPlan() *Plan {
+	return partition.BuildPlan(r.analyzer, r.arena.Sites(), r.baseCfg)
+}
+
+// InstallPlan installs a plan under quiescence.
+func (r *Runtime) InstallPlan(p *Plan) error { return p.Install(r.eng) }
+
+// StopProfilingAndPartition stops profiling, builds the plan from the
+// observed connectivity, installs it, and returns it.
+func (r *Runtime) StopProfilingAndPartition() (*Plan, error) {
+	r.StopProfiling()
+	p := r.BuildPlan()
+	if err := r.InstallPlan(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ManualPartition installs an explicit site-name grouping (the escape
+// hatch for programmers who know the structure better than the analysis).
+func (r *Runtime) ManualPartition(groups map[string][]string) (*Plan, error) {
+	p, err := partition.ManualPlan(r.arena.Sites(), r.baseCfg, groups)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.InstallPlan(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// UnPartition reinstalls the single-global-partition baseline.
+func (r *Runtime) UnPartition() error {
+	return r.InstallPlan(partition.SingleGlobalPlan(r.arena.Sites(), r.baseCfg))
+}
+
+// SavePlan serializes the plan together with each partition's CURRENT
+// engine configuration (i.e. what the tuner learned, not the plan's
+// initial configs) as reviewable JSON. Reload it in a later run with
+// LoadAndInstallPlan to warm-start partitioning and tuning.
+func (r *Runtime) SavePlan(w io.Writer, p *Plan) error {
+	configs := make([]PartConfig, 0, p.NumPartitions())
+	for id := 0; id < p.NumPartitions(); id++ {
+		if eng := r.eng.Partition(PartID(id)); eng != nil {
+			configs = append(configs, eng.Config())
+		} else {
+			configs = append(configs, p.Configs[id])
+		}
+	}
+	return p.Save(w, r.arena.Sites(), configs)
+}
+
+// LoadAndInstallPlan reads a plan saved by SavePlan, rebinds it to the
+// current site table (every saved site must already be registered), and
+// installs it. It returns the loaded plan.
+func (r *Runtime) LoadAndInstallPlan(rd io.Reader) (*Plan, error) {
+	p, err := partition.LoadPlan(rd, r.arena.Sites(), r.baseCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.InstallPlan(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Reconfigure replaces one partition's configuration under quiescence.
+func (r *Runtime) Reconfigure(id PartID, cfg PartConfig) error {
+	return r.eng.Reconfigure(id, cfg)
+}
+
+// PartitionOf reports the partition currently owning addr.
+func (r *Runtime) PartitionOf(addr Addr) PartID {
+	return r.eng.PartitionOfAddr(addr).ID()
+}
+
+// PartitionConfig returns partition id's current configuration.
+func (r *Runtime) PartitionConfig(id PartID) (PartConfig, error) {
+	p := r.eng.Partition(id)
+	if p == nil {
+		return PartConfig{}, fmt.Errorf("stm: no partition %d", id)
+	}
+	return p.Config(), nil
+}
+
+// NumPartitions returns the number of partitions (≥1; partition 0 is the
+// global default).
+func (r *Runtime) NumPartitions() int { return len(r.eng.Partitions()) }
+
+// PartitionNames returns partition display names indexed by PartID.
+func (r *Runtime) PartitionNames() []string {
+	parts := r.eng.Partitions()
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+// StartTuner launches the per-partition runtime tuner.
+func (r *Runtime) StartTuner(cfg TunerConfig) {
+	if r.tuner != nil {
+		return
+	}
+	r.tuner = tuning.New(r.eng, cfg)
+	r.tuner.Start()
+}
+
+// StopTuner stops the tuner and returns its decision trace.
+func (r *Runtime) StopTuner() []TunerDecision {
+	if r.tuner == nil {
+		return nil
+	}
+	r.tuner.Stop()
+	tr := r.tuner.Trace()
+	r.tuner = nil
+	return tr
+}
+
+// TunerTrace returns the decisions taken so far (nil when no tuner runs).
+func (r *Runtime) TunerTrace() []TunerDecision {
+	if r.tuner == nil {
+		return nil
+	}
+	return r.tuner.Trace()
+}
+
+// StartTracing installs a ring-buffer attempt tracer keeping the last
+// capacity events, and returns it. Use the recorder's Snapshot/Summary
+// after StopTracing; tracing adds one atomic pointer load per attempt.
+func (r *Runtime) StartTracing(capacity int) *TraceRecorder {
+	rec := trace.NewRecorder(capacity)
+	r.eng.SetTracer(rec)
+	return rec
+}
+
+// StopTracing detaches the tracer installed by StartTracing.
+func (r *Runtime) StopTracing() { r.eng.SetTracer(nil) }
+
+// Stats returns a statistics snapshot for every partition.
+func (r *Runtime) Stats() []PartStats { return r.eng.AllStats() }
+
+// PartitionStats returns the snapshot for one partition.
+func (r *Runtime) PartitionStats(id PartID) PartStats { return r.eng.StatsSnapshot(id) }
+
+// Engine exposes the underlying engine for benchmarks and tests that need
+// low-level control.
+func (r *Runtime) Engine() *core.Engine { return r.eng }
+
+// HeapInUseBlocks reports how many heap blocks have been handed out.
+func (r *Runtime) HeapInUseBlocks() uint64 { return r.arena.BlocksInUse() }

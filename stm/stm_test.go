@@ -1,0 +1,253 @@
+package stm_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/stm"
+)
+
+func newRT(t testing.TB) *stm.Runtime {
+	t.Helper()
+	rt, err := stm.New(stm.Config{HeapWords: 1 << 18, BlockShift: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := stm.New(stm.Config{HeapWords: 10, BlockShift: 8}); err == nil {
+		t.Fatal("tiny heap accepted")
+	}
+	if rt, err := stm.New(stm.Config{}); err != nil || rt == nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on bad config")
+		}
+	}()
+	stm.MustNew(stm.Config{HeapWords: 10, BlockShift: 8})
+}
+
+func TestBasicTransactions(t *testing.T) {
+	rt := newRT(t)
+	site := rt.RegisterSite("t.basic")
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var a stm.Addr
+	th.Atomic(func(tx *stm.Tx) {
+		a = tx.Alloc(site, 2)
+		tx.Store(a, 7)
+		tx.Store(a+1, 8)
+	})
+	th.Atomic(func(tx *stm.Tx) {
+		if tx.Load(a) != 7 || tx.Load(a+1) != 8 {
+			t.Error("values lost")
+		}
+	})
+	if err := th.AtomicErr(func(tx *stm.Tx) error {
+		tx.Store(a, 99)
+		return fmt.Errorf("user abort")
+	}); err == nil {
+		t.Fatal("AtomicErr swallowed the error")
+	}
+	th.Atomic(func(tx *stm.Tx) {
+		if got := tx.Load(a); got != 7 {
+			t.Errorf("aborted write visible: %d", got)
+		}
+	})
+}
+
+func TestManualPartitionAndReconfigure(t *testing.T) {
+	rt := newRT(t)
+	rt.RegisterSite("mp.a")
+	rt.RegisterSite("mp.b")
+	plan, err := rt.ManualPartition(map[string][]string{
+		"pa": {"mp.a"},
+		"pb": {"mp.b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumPartitions() != 3 || rt.NumPartitions() != 3 {
+		t.Fatalf("partitions: plan %d, runtime %d", plan.NumPartitions(), rt.NumPartitions())
+	}
+	names := rt.PartitionNames()
+	if names[0] != "global" {
+		t.Fatalf("names = %v", names)
+	}
+
+	cfg, err := rt.PartitionConfig(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Read = stm.VisibleReads
+	if err := rt.Reconfigure(1, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := rt.PartitionConfig(1)
+	if got.Read != stm.VisibleReads {
+		t.Fatal("reconfigure did not stick")
+	}
+	if _, err := rt.PartitionConfig(99); err == nil {
+		t.Fatal("config of unknown partition")
+	}
+	if _, err := rt.ManualPartition(map[string][]string{"x": {"nope"}}); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+
+	// Allocations route to the right partitions.
+	sa, _ := rt.Sites().Lookup("mp.a")
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var addr stm.Addr
+	th.Atomic(func(tx *stm.Tx) {
+		addr = tx.Alloc(sa, 1)
+		tx.Store(addr, 1)
+	})
+	if rt.PartitionOf(addr) != 1 {
+		t.Fatalf("addr in partition %d", rt.PartitionOf(addr))
+	}
+
+	// Back to the baseline.
+	if err := rt.UnPartition(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumPartitions() != 1 {
+		t.Fatalf("UnPartition left %d partitions", rt.NumPartitions())
+	}
+}
+
+func TestProfilingPipeline(t *testing.T) {
+	rt := newRT(t)
+	rt.StartProfiling()
+	sHead := rt.RegisterSite("pp.head")
+	sNode := rt.RegisterSite("pp.node")
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	th.Atomic(func(tx *stm.Tx) {
+		h := tx.Alloc(sHead, 1)
+		n := tx.Alloc(sNode, 2)
+		tx.StoreAddr(h, n)
+	})
+	plan, err := rt.StopProfilingAndPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumPartitions() != 2 {
+		t.Fatalf("NumPartitions = %d\n%s", plan.NumPartitions(), plan.Describe(rt.Sites()))
+	}
+	if !strings.Contains(plan.Describe(rt.Sites()), "pp") {
+		t.Fatal("describe lacks group name")
+	}
+}
+
+func TestTunerLifecycle(t *testing.T) {
+	rt := newRT(t)
+	if rt.TunerTrace() != nil {
+		t.Fatal("trace without tuner")
+	}
+	if tr := rt.StopTuner(); tr != nil {
+		t.Fatal("StopTuner without StartTuner returned trace")
+	}
+	cfg := stm.DefaultTunerConfig()
+	cfg.Interval = time.Millisecond
+	rt.StartTuner(cfg)
+	rt.StartTuner(cfg) // idempotent
+	time.Sleep(5 * time.Millisecond)
+	_ = rt.TunerTrace()
+	_ = rt.StopTuner()
+}
+
+func TestStatsSurface(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	site := rt.RegisterSite("ss.x")
+	var a stm.Addr
+	th.Atomic(func(tx *stm.Tx) {
+		a = tx.Alloc(site, 1)
+		tx.Store(a, 0)
+	})
+	for i := 0; i < 5; i++ {
+		th.Atomic(func(tx *stm.Tx) { tx.Store(a, tx.Load(a)+1) })
+	}
+	all := rt.Stats()
+	if len(all) != 1 {
+		t.Fatalf("Stats len = %d", len(all))
+	}
+	one := rt.PartitionStats(stm.GlobalPartition)
+	if one.Commits != all[0].Commits || one.Commits < 6 {
+		t.Fatalf("commits: %d vs %d", one.Commits, all[0].Commits)
+	}
+	if rt.HeapInUseBlocks() == 0 {
+		t.Fatal("no heap blocks in use")
+	}
+}
+
+func TestConcurrentFacadeUse(t *testing.T) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 18, BlockShift: 8, YieldEveryOps: 8})
+	site := rt.RegisterSite("cf.slots")
+	setup := rt.MustAttach()
+	var base stm.Addr
+	const slots = 16
+	setup.Atomic(func(tx *stm.Tx) {
+		base = tx.Alloc(site, slots)
+		for i := 0; i < slots; i++ {
+			tx.Store(base+stm.Addr(i), 100)
+		}
+	})
+	rt.Detach(setup)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			for i := 0; i < 2000; i++ {
+				from := stm.Addr(seed+uint64(i)) % slots
+				to := stm.Addr(seed+uint64(i)*7+3) % slots
+				th.Atomic(func(tx *stm.Tx) {
+					v := tx.Load(base + from)
+					if v == 0 {
+						return
+					}
+					tx.Store(base+from, v-1)
+					tx.Store(base+to, tx.Load(base+to)+1)
+				})
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	th.ReadOnlyAtomic(func(tx *stm.Tx) {
+		var sum uint64
+		for i := 0; i < slots; i++ {
+			sum += tx.Load(base + stm.Addr(i))
+		}
+		if sum != slots*100 {
+			t.Errorf("sum = %d", sum)
+		}
+	})
+}
+
+func TestDefaultConfigOverride(t *testing.T) {
+	cfg := stm.DefaultPartConfig()
+	cfg.Read = stm.VisibleReads
+	cfg.LockBits = 6
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 18, BlockShift: 8, Default: &cfg})
+	got, err := rt.PartitionConfig(stm.GlobalPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Read != stm.VisibleReads || got.LockBits != 6 {
+		t.Fatalf("default config not applied: %v", got)
+	}
+}

@@ -1,0 +1,474 @@
+package txds
+
+import "repro/stm"
+
+// BTree is a transactional B-tree of minimum degree BTreeDegree (CLRS
+// formulation: every node except the root holds between t-1 and 2t-1
+// keys). Against the red/black tree it trades pointer chases for wide
+// nodes: a lookup touches ~log_t(n) nodes instead of ~log2(n), so its
+// read sets are much smaller — but every split/merge rewrites whole
+// nodes, so its write sets are larger. That asymmetry gives it a
+// different per-partition profile than RBTree on the same key stream,
+// which is precisely the heterogeneity the partitioned STM exploits.
+type BTree struct {
+	rootCell stm.Addr // one word: pointer to the root node
+	nodeSite stm.SiteID
+}
+
+// BTreeDegree is the minimum degree t: nodes hold t-1..2t-1 keys.
+const BTreeDegree = 4
+
+const (
+	btMaxKeys = 2*BTreeDegree - 1
+	btMinKeys = BTreeDegree - 1
+
+	// Node layout (words):
+	//   [0]            leaf flag (1 = leaf)
+	//   [1]            key count n
+	//   [2 .. 2+M)     keys[0..n)
+	//   [2+M .. 2+2M)  values[0..n)
+	//   [2+2M .. 3+3M) children[0..n] (internal nodes only)
+	btLeaf     = 0
+	btN        = 1
+	btKeys     = 2
+	btVals     = btKeys + btMaxKeys
+	btKids     = btVals + btMaxKeys
+	btNodeSize = btKids + btMaxKeys + 1
+)
+
+// NewBTree creates an empty tree with sites "<name>.root" and
+// "<name>.node".
+func NewBTree(tx *stm.Tx, rt *stm.Runtime, name string) *BTree {
+	rootSite := rt.RegisterSite(name + ".root")
+	nodeSite := rt.RegisterSite(name + ".node")
+	rootCell := tx.Alloc(rootSite, 1)
+	t := &BTree{rootCell: rootCell, nodeSite: nodeSite}
+	root := t.newNode(tx, true)
+	tx.StoreAddr(rootCell, root)
+	return t
+}
+
+func (t *BTree) newNode(tx *stm.Tx, leaf bool) stm.Addr {
+	n := tx.Alloc(t.nodeSite, btNodeSize)
+	v := uint64(0)
+	if leaf {
+		v = 1
+	}
+	tx.Store(n+btLeaf, v)
+	tx.Store(n+btN, 0)
+	return n
+}
+
+func (t *BTree) isLeaf(tx *stm.Tx, n stm.Addr) bool { return tx.Load(n+btLeaf) == 1 }
+func (t *BTree) count(tx *stm.Tx, n stm.Addr) int   { return int(tx.Load(n + btN)) }
+func (t *BTree) setCount(tx *stm.Tx, n stm.Addr, c int) {
+	tx.Store(n+btN, uint64(c))
+}
+func (t *BTree) key(tx *stm.Tx, n stm.Addr, i int) uint64 { return tx.Load(n + btKeys + stm.Addr(i)) }
+func (t *BTree) val(tx *stm.Tx, n stm.Addr, i int) uint64 { return tx.Load(n + btVals + stm.Addr(i)) }
+func (t *BTree) setKV(tx *stm.Tx, n stm.Addr, i int, k, v uint64) {
+	tx.Store(n+btKeys+stm.Addr(i), k)
+	tx.Store(n+btVals+stm.Addr(i), v)
+}
+func (t *BTree) kid(tx *stm.Tx, n stm.Addr, i int) stm.Addr {
+	return tx.LoadAddr(n + btKids + stm.Addr(i))
+}
+func (t *BTree) setKid(tx *stm.Tx, n stm.Addr, i int, c stm.Addr) {
+	tx.StoreAddr(n+btKids+stm.Addr(i), c)
+}
+
+// Lookup returns the value stored under k.
+func (t *BTree) Lookup(tx *stm.Tx, k uint64) (uint64, bool) {
+	n := tx.LoadAddr(t.rootCell)
+	for {
+		cnt := t.count(tx, n)
+		i := 0
+		for i < cnt && k > t.key(tx, n, i) {
+			i++
+		}
+		if i < cnt && k == t.key(tx, n, i) {
+			return t.val(tx, n, i), true
+		}
+		if t.isLeaf(tx, n) {
+			return 0, false
+		}
+		n = t.kid(tx, n, i)
+	}
+}
+
+// Contains reports membership.
+func (t *BTree) Contains(tx *stm.Tx, k uint64) bool {
+	_, ok := t.Lookup(tx, k)
+	return ok
+}
+
+// splitChild splits parent's full child at index i (single-pass insert
+// invariant: the parent is known non-full).
+func (t *BTree) splitChild(tx *stm.Tx, parent stm.Addr, i int) {
+	child := t.kid(tx, parent, i)
+	right := t.newNode(tx, t.isLeaf(tx, child))
+	// Move the upper t-1 keys of child into right.
+	for j := 0; j < btMinKeys; j++ {
+		t.setKV(tx, right, j,
+			t.key(tx, child, j+BTreeDegree), t.val(tx, child, j+BTreeDegree))
+	}
+	if !t.isLeaf(tx, child) {
+		for j := 0; j < BTreeDegree; j++ {
+			t.setKid(tx, right, j, t.kid(tx, child, j+BTreeDegree))
+		}
+	}
+	t.setCount(tx, right, btMinKeys)
+	midK, midV := t.key(tx, child, btMinKeys), t.val(tx, child, btMinKeys)
+	t.setCount(tx, child, btMinKeys)
+	// Shift the parent's keys/children right of i and hoist the median.
+	pc := t.count(tx, parent)
+	for j := pc; j > i; j-- {
+		t.setKV(tx, parent, j, t.key(tx, parent, j-1), t.val(tx, parent, j-1))
+	}
+	for j := pc + 1; j > i+1; j-- {
+		t.setKid(tx, parent, j, t.kid(tx, parent, j-1))
+	}
+	t.setKV(tx, parent, i, midK, midV)
+	t.setKid(tx, parent, i+1, right)
+	t.setCount(tx, parent, pc+1)
+}
+
+// Insert adds k→v if absent; reports whether it inserted.
+func (t *BTree) Insert(tx *stm.Tx, k, v uint64) bool {
+	if t.Contains(tx, k) {
+		return false
+	}
+	root := tx.LoadAddr(t.rootCell)
+	if t.count(tx, root) == btMaxKeys {
+		newRoot := t.newNode(tx, false)
+		t.setKid(tx, newRoot, 0, root)
+		tx.StoreAddr(t.rootCell, newRoot)
+		t.splitChild(tx, newRoot, 0)
+		root = newRoot
+	}
+	t.insertNonFull(tx, root, k, v)
+	return true
+}
+
+// Set upserts k→v; reports whether the key was newly inserted.
+func (t *BTree) Set(tx *stm.Tx, k, v uint64) bool {
+	if t.update(tx, k, v) {
+		return false
+	}
+	return t.Insert(tx, k, v)
+}
+
+// update overwrites an existing key in place.
+func (t *BTree) update(tx *stm.Tx, k, v uint64) bool {
+	n := tx.LoadAddr(t.rootCell)
+	for {
+		cnt := t.count(tx, n)
+		i := 0
+		for i < cnt && k > t.key(tx, n, i) {
+			i++
+		}
+		if i < cnt && k == t.key(tx, n, i) {
+			tx.Store(n+btVals+stm.Addr(i), v)
+			return true
+		}
+		if t.isLeaf(tx, n) {
+			return false
+		}
+		n = t.kid(tx, n, i)
+	}
+}
+
+func (t *BTree) insertNonFull(tx *stm.Tx, n stm.Addr, k, v uint64) {
+	for {
+		cnt := t.count(tx, n)
+		if t.isLeaf(tx, n) {
+			i := cnt
+			for i > 0 && k < t.key(tx, n, i-1) {
+				t.setKV(tx, n, i, t.key(tx, n, i-1), t.val(tx, n, i-1))
+				i--
+			}
+			t.setKV(tx, n, i, k, v)
+			t.setCount(tx, n, cnt+1)
+			return
+		}
+		i := cnt
+		for i > 0 && k < t.key(tx, n, i-1) {
+			i--
+		}
+		if t.count(tx, t.kid(tx, n, i)) == btMaxKeys {
+			t.splitChild(tx, n, i)
+			if k > t.key(tx, n, i) {
+				i++
+			}
+		}
+		n = t.kid(tx, n, i)
+	}
+}
+
+// Remove deletes k, returning its value. Implements the classic CLRS
+// deletion: every node visited on the way down is first fattened to at
+// least t keys (borrow from a sibling or merge), so deletion never
+// backtracks.
+func (t *BTree) Remove(tx *stm.Tx, k uint64) (uint64, bool) {
+	v, ok := t.Lookup(tx, k)
+	if !ok {
+		return 0, false
+	}
+	root := tx.LoadAddr(t.rootCell)
+	t.remove(tx, root, k)
+	// Shrink an empty internal root.
+	if t.count(tx, root) == 0 && !t.isLeaf(tx, root) {
+		tx.StoreAddr(t.rootCell, t.kid(tx, root, 0))
+		tx.Free(root, btNodeSize)
+	}
+	return v, true
+}
+
+func (t *BTree) remove(tx *stm.Tx, n stm.Addr, k uint64) {
+	cnt := t.count(tx, n)
+	i := 0
+	for i < cnt && k > t.key(tx, n, i) {
+		i++
+	}
+	if t.isLeaf(tx, n) {
+		if i < cnt && t.key(tx, n, i) == k {
+			for j := i; j < cnt-1; j++ {
+				t.setKV(tx, n, j, t.key(tx, n, j+1), t.val(tx, n, j+1))
+			}
+			t.setCount(tx, n, cnt-1)
+		}
+		return
+	}
+	if i < cnt && t.key(tx, n, i) == k {
+		t.removeFromInternal(tx, n, i, k)
+		return
+	}
+	// Descend into child i, fattening it first if minimal.
+	child := t.kid(tx, n, i)
+	if t.count(tx, child) == btMinKeys {
+		i = t.fatten(tx, n, i)
+		// Fattening may have merged the target key into a different child.
+		cnt = t.count(tx, n)
+		for i < cnt && k > t.key(tx, n, i) {
+			i++
+		}
+		if i < cnt && t.key(tx, n, i) == k {
+			t.removeFromInternal(tx, n, i, k)
+			return
+		}
+		child = t.kid(tx, n, i)
+	}
+	t.remove(tx, child, k)
+}
+
+// removeFromInternal deletes key index i of internal node n (CLRS cases
+// 2a/2b/2c).
+func (t *BTree) removeFromInternal(tx *stm.Tx, n stm.Addr, i int, k uint64) {
+	left := t.kid(tx, n, i)
+	right := t.kid(tx, n, i+1)
+	switch {
+	case t.count(tx, left) > btMinKeys:
+		// Replace with predecessor, then delete the predecessor below.
+		pk, pv := t.maxKV(tx, left)
+		t.setKV(tx, n, i, pk, pv)
+		t.remove(tx, left, pk)
+	case t.count(tx, right) > btMinKeys:
+		sk, sv := t.minKV(tx, right)
+		t.setKV(tx, n, i, sk, sv)
+		t.remove(tx, right, sk)
+	default:
+		t.mergeChildren(tx, n, i)
+		t.remove(tx, left, k)
+	}
+}
+
+func (t *BTree) maxKV(tx *stm.Tx, n stm.Addr) (uint64, uint64) {
+	for !t.isLeaf(tx, n) {
+		n = t.kid(tx, n, t.count(tx, n))
+	}
+	c := t.count(tx, n)
+	return t.key(tx, n, c-1), t.val(tx, n, c-1)
+}
+
+func (t *BTree) minKV(tx *stm.Tx, n stm.Addr) (uint64, uint64) {
+	for !t.isLeaf(tx, n) {
+		n = t.kid(tx, n, 0)
+	}
+	return t.key(tx, n, 0), t.val(tx, n, 0)
+}
+
+// fatten guarantees child i of n has more than btMinKeys keys, borrowing
+// from a sibling or merging; it returns the (possibly shifted) child
+// index to descend into.
+func (t *BTree) fatten(tx *stm.Tx, n stm.Addr, i int) int {
+	cnt := t.count(tx, n)
+	child := t.kid(tx, n, i)
+	if i > 0 && t.count(tx, t.kid(tx, n, i-1)) > btMinKeys {
+		// Borrow from the left sibling through the separator.
+		left := t.kid(tx, n, i-1)
+		lc := t.count(tx, left)
+		cc := t.count(tx, child)
+		for j := cc; j > 0; j-- {
+			t.setKV(tx, child, j, t.key(tx, child, j-1), t.val(tx, child, j-1))
+		}
+		if !t.isLeaf(tx, child) {
+			for j := cc + 1; j > 0; j-- {
+				t.setKid(tx, child, j, t.kid(tx, child, j-1))
+			}
+			t.setKid(tx, child, 0, t.kid(tx, left, lc))
+		}
+		t.setKV(tx, child, 0, t.key(tx, n, i-1), t.val(tx, n, i-1))
+		t.setCount(tx, child, cc+1)
+		t.setKV(tx, n, i-1, t.key(tx, left, lc-1), t.val(tx, left, lc-1))
+		t.setCount(tx, left, lc-1)
+		return i
+	}
+	if i < cnt && t.count(tx, t.kid(tx, n, i+1)) > btMinKeys {
+		// Borrow from the right sibling.
+		right := t.kid(tx, n, i+1)
+		rc := t.count(tx, right)
+		cc := t.count(tx, child)
+		t.setKV(tx, child, cc, t.key(tx, n, i), t.val(tx, n, i))
+		if !t.isLeaf(tx, child) {
+			t.setKid(tx, child, cc+1, t.kid(tx, right, 0))
+		}
+		t.setCount(tx, child, cc+1)
+		t.setKV(tx, n, i, t.key(tx, right, 0), t.val(tx, right, 0))
+		for j := 0; j < rc-1; j++ {
+			t.setKV(tx, right, j, t.key(tx, right, j+1), t.val(tx, right, j+1))
+		}
+		if !t.isLeaf(tx, right) {
+			for j := 0; j < rc; j++ {
+				t.setKid(tx, right, j, t.kid(tx, right, j+1))
+			}
+		}
+		t.setCount(tx, right, rc-1)
+		return i
+	}
+	// Merge with a sibling.
+	if i == cnt {
+		i--
+	}
+	t.mergeChildren(tx, n, i)
+	return i
+}
+
+// mergeChildren merges child i+1 and separator i into child i and frees
+// the right node.
+func (t *BTree) mergeChildren(tx *stm.Tx, n stm.Addr, i int) {
+	left := t.kid(tx, n, i)
+	right := t.kid(tx, n, i+1)
+	lc := t.count(tx, left)
+	rc := t.count(tx, right)
+	t.setKV(tx, left, lc, t.key(tx, n, i), t.val(tx, n, i))
+	for j := 0; j < rc; j++ {
+		t.setKV(tx, left, lc+1+j, t.key(tx, right, j), t.val(tx, right, j))
+	}
+	if !t.isLeaf(tx, left) {
+		for j := 0; j <= rc; j++ {
+			t.setKid(tx, left, lc+1+j, t.kid(tx, right, j))
+		}
+	}
+	t.setCount(tx, left, lc+1+rc)
+	// Close the gap in the parent.
+	pc := t.count(tx, n)
+	for j := i; j < pc-1; j++ {
+		t.setKV(tx, n, j, t.key(tx, n, j+1), t.val(tx, n, j+1))
+	}
+	for j := i + 1; j < pc; j++ {
+		t.setKid(tx, n, j, t.kid(tx, n, j+1))
+	}
+	t.setCount(tx, n, pc-1)
+	tx.Free(right, btNodeSize)
+}
+
+// Len counts stored keys.
+func (t *BTree) Len(tx *stm.Tx) int {
+	return t.lenRec(tx, tx.LoadAddr(t.rootCell))
+}
+
+func (t *BTree) lenRec(tx *stm.Tx, n stm.Addr) int {
+	cnt := t.count(tx, n)
+	total := cnt
+	if !t.isLeaf(tx, n) {
+		for i := 0; i <= cnt; i++ {
+			total += t.lenRec(tx, t.kid(tx, n, i))
+		}
+	}
+	return total
+}
+
+// Keys returns all keys ascending.
+func (t *BTree) Keys(tx *stm.Tx) []uint64 {
+	var out []uint64
+	t.walk(tx, tx.LoadAddr(t.rootCell), func(k, _ uint64) { out = append(out, k) })
+	return out
+}
+
+func (t *BTree) walk(tx *stm.Tx, n stm.Addr, f func(k, v uint64)) {
+	cnt := t.count(tx, n)
+	leaf := t.isLeaf(tx, n)
+	for i := 0; i < cnt; i++ {
+		if !leaf {
+			t.walk(tx, t.kid(tx, n, i), f)
+		}
+		f(t.key(tx, n, i), t.val(tx, n, i))
+	}
+	if !leaf {
+		t.walk(tx, t.kid(tx, n, cnt), f)
+	}
+}
+
+// CheckInvariants verifies B-tree structure: key counts within [t-1,
+// 2t-1] (root exempt from the minimum), sorted keys, uniform leaf depth.
+// Returns "" when all hold.
+func (t *BTree) CheckInvariants(tx *stm.Tx) string {
+	root := tx.LoadAddr(t.rootCell)
+	_, msg := t.checkRec(tx, root, true, false, 0, false, 0)
+	return msg
+}
+
+func (t *BTree) checkRec(tx *stm.Tx, n stm.Addr, isRoot bool, hasLo bool, lo uint64, hasHi bool, hi uint64) (depth int, msg string) {
+	cnt := t.count(tx, n)
+	if cnt > btMaxKeys {
+		return 0, "btree: node overflow"
+	}
+	if !isRoot && cnt < btMinKeys {
+		return 0, "btree: node underflow"
+	}
+	prevSet, prev := hasLo, lo
+	for i := 0; i < cnt; i++ {
+		k := t.key(tx, n, i)
+		if prevSet && k <= prev {
+			return 0, "btree: keys not strictly ascending"
+		}
+		if hasHi && k >= hi {
+			return 0, "btree: key exceeds upper bound"
+		}
+		prevSet, prev = true, k
+	}
+	if t.isLeaf(tx, n) {
+		return 1, ""
+	}
+	want := -1
+	for i := 0; i <= cnt; i++ {
+		cHasLo, clo := hasLo, lo
+		cHasHi, chi := hasHi, hi
+		if i > 0 {
+			cHasLo, clo = true, t.key(tx, n, i-1)
+		}
+		if i < cnt {
+			cHasHi, chi = true, t.key(tx, n, i)
+		}
+		d, m := t.checkRec(tx, t.kid(tx, n, i), false, cHasLo, clo, cHasHi, chi)
+		if m != "" {
+			return 0, m
+		}
+		if want == -1 {
+			want = d
+		} else if d != want {
+			return 0, "btree: leaves at different depths"
+		}
+	}
+	return want + 1, ""
+}

@@ -1,0 +1,262 @@
+package txds
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/stm"
+)
+
+// TestBTreeAgainstModel runs a long random op sequence against a map
+// model, checking every result plus structural invariants periodically.
+func TestBTreeAgainstModel(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var bt *BTree
+	th.Atomic(func(tx *stm.Tx) { bt = NewBTree(tx, rt, "btm") })
+
+	model := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(61))
+	const keyRange = 300
+	for i := 0; i < 10000; i++ {
+		k := uint64(rng.Intn(keyRange))
+		v := rng.Uint64()
+		switch rng.Intn(5) {
+		case 0, 1: // insert
+			var got bool
+			th.Atomic(func(tx *stm.Tx) { got = bt.Insert(tx, k, v) })
+			_, existed := model[k]
+			if got == existed {
+				t.Fatalf("op %d: Insert(%d) = %v, existed=%v", i, k, got, existed)
+			}
+			if !existed {
+				model[k] = v
+			}
+		case 2: // set (upsert)
+			th.Atomic(func(tx *stm.Tx) { bt.Set(tx, k, v) })
+			model[k] = v
+		case 3: // remove
+			var got uint64
+			var ok bool
+			th.Atomic(func(tx *stm.Tx) { got, ok = bt.Remove(tx, k) })
+			want, existed := model[k]
+			if ok != existed || (ok && got != want) {
+				t.Fatalf("op %d: Remove(%d) = (%d,%v), model (%d,%v)", i, k, got, ok, want, existed)
+			}
+			delete(model, k)
+		default: // lookup
+			var got uint64
+			var ok bool
+			th.ReadOnlyAtomic(func(tx *stm.Tx) { got, ok = bt.Lookup(tx, k) })
+			want, existed := model[k]
+			if ok != existed || (ok && got != want) {
+				t.Fatalf("op %d: Lookup(%d) = (%d,%v), model (%d,%v)", i, k, got, ok, want, existed)
+			}
+		}
+		if i%250 == 0 {
+			th.ReadOnlyAtomic(func(tx *stm.Tx) {
+				if msg := bt.CheckInvariants(tx); msg != "" {
+					t.Fatalf("op %d: %s", i, msg)
+				}
+				if n := bt.Len(tx); n != len(model) {
+					t.Fatalf("op %d: Len = %d, model %d", i, n, len(model))
+				}
+			})
+		}
+	}
+	// Final: full key comparison.
+	want := make([]uint64, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	th.ReadOnlyAtomic(func(tx *stm.Tx) {
+		got := bt.Keys(tx)
+		if len(got) != len(want) {
+			t.Fatalf("Keys len %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Keys[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// TestBTreeSplitsAndMerges drives the tree deep enough that splits,
+// borrows, merges and root shrinks all occur, then drains it to empty.
+func TestBTreeSplitsAndMerges(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var bt *BTree
+	th.Atomic(func(tx *stm.Tx) { bt = NewBTree(tx, rt, "btsm") })
+	const n = 2000
+	perm := rand.New(rand.NewSource(67)).Perm(n)
+	for _, k := range perm {
+		kk := uint64(k)
+		th.Atomic(func(tx *stm.Tx) {
+			if !bt.Insert(tx, kk, kk*2) {
+				t.Fatalf("fresh key %d rejected", kk)
+			}
+		})
+	}
+	th.ReadOnlyAtomic(func(tx *stm.Tx) {
+		if msg := bt.CheckInvariants(tx); msg != "" {
+			t.Fatal(msg)
+		}
+		if got := bt.Len(tx); got != n {
+			t.Fatalf("Len = %d, want %d", got, n)
+		}
+	})
+	// Remove in a different random order; every removal must succeed and
+	// keep the invariants (checked in batches for speed).
+	perm2 := rand.New(rand.NewSource(71)).Perm(n)
+	for i, k := range perm2 {
+		kk := uint64(k)
+		th.Atomic(func(tx *stm.Tx) {
+			v, ok := bt.Remove(tx, kk)
+			if !ok || v != kk*2 {
+				t.Fatalf("Remove(%d) = (%d,%v)", kk, v, ok)
+			}
+		})
+		if i%200 == 0 {
+			th.ReadOnlyAtomic(func(tx *stm.Tx) {
+				if msg := bt.CheckInvariants(tx); msg != "" {
+					t.Fatalf("after %d removals: %s", i+1, msg)
+				}
+			})
+		}
+	}
+	th.ReadOnlyAtomic(func(tx *stm.Tx) {
+		if got := bt.Len(tx); got != 0 {
+			t.Fatalf("Len = %d after draining", got)
+		}
+	})
+}
+
+// TestBTreeProperty is the testing/quick law: inserting any key set then
+// removing a subset leaves exactly the difference, in sorted order, with
+// invariants intact.
+func TestBTreeProperty(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	idx := 0
+	f := func(ins []uint16, del []uint16) bool {
+		idx++
+		var bt *BTree
+		th.Atomic(func(tx *stm.Tx) { bt = NewBTree(tx, rt, "btp"+itoa(idx)) })
+		model := map[uint64]bool{}
+		for _, k := range ins {
+			kk := uint64(k)
+			th.Atomic(func(tx *stm.Tx) { bt.Insert(tx, kk, kk) })
+			model[kk] = true
+		}
+		for _, k := range del {
+			kk := uint64(k)
+			th.Atomic(func(tx *stm.Tx) { bt.Remove(tx, kk) })
+			delete(model, kk)
+		}
+		ok := true
+		th.ReadOnlyAtomic(func(tx *stm.Tx) {
+			if msg := bt.CheckInvariants(tx); msg != "" {
+				ok = false
+				return
+			}
+			keys := bt.Keys(tx)
+			if len(keys) != len(model) {
+				ok = false
+				return
+			}
+			for i, k := range keys {
+				if !model[k] || (i > 0 && keys[i-1] >= k) {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBTreeConcurrent checks linear counting under concurrent disjoint
+// inserts and a shared mixed phase with invariants at the end.
+func TestBTreeConcurrent(t *testing.T) {
+	rt := newRT(t)
+	setup := rt.MustAttach()
+	var bt *BTree
+	setup.Atomic(func(tx *stm.Tx) { bt = NewBTree(tx, rt, "btc") })
+	rt.Detach(setup)
+	const workers, perW = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			for i := 0; i < perW; i++ {
+				k := uint64(id*perW + i) // disjoint ranges: all inserts fresh
+				th.Atomic(func(tx *stm.Tx) {
+					if !bt.Insert(tx, k, k) {
+						t.Errorf("fresh key %d rejected", k)
+					}
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	th.ReadOnlyAtomic(func(tx *stm.Tx) {
+		if got := bt.Len(tx); got != workers*perW {
+			t.Fatalf("Len = %d, want %d", got, workers*perW)
+		}
+		if msg := bt.CheckInvariants(tx); msg != "" {
+			t.Fatal(msg)
+		}
+	})
+}
+
+// TestBTreeZeroAndMaxKeys exercises the key-domain edges.
+func TestBTreeZeroAndMaxKeys(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var bt *BTree
+	th.Atomic(func(tx *stm.Tx) { bt = NewBTree(tx, rt, "btz") })
+	maxK := ^uint64(0)
+	th.Atomic(func(tx *stm.Tx) {
+		bt.Insert(tx, 0, 10)
+		bt.Insert(tx, maxK, 20)
+		bt.Insert(tx, 1, 11)
+	})
+	th.ReadOnlyAtomic(func(tx *stm.Tx) {
+		if v, ok := bt.Lookup(tx, 0); !ok || v != 10 {
+			t.Fatalf("Lookup(0) = (%d,%v)", v, ok)
+		}
+		if v, ok := bt.Lookup(tx, maxK); !ok || v != 20 {
+			t.Fatalf("Lookup(max) = (%d,%v)", v, ok)
+		}
+		keys := bt.Keys(tx)
+		if len(keys) != 3 || keys[0] != 0 || keys[2] != maxK {
+			t.Fatalf("keys = %v", keys)
+		}
+	})
+	th.Atomic(func(tx *stm.Tx) {
+		if _, ok := bt.Remove(tx, 0); !ok {
+			t.Fatal("Remove(0) failed")
+		}
+		if bt.Contains(tx, 0) {
+			t.Fatal("0 still present")
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package txds
+
+import "repro/stm"
+
+// CounterArray is a dense array of transactional counters (the bank
+// benchmark's accounts). Adjacent counters share cache lines and — under
+// coarse conflict-detection granularity — orecs, so it doubles as the
+// granularity experiment's workload.
+type CounterArray struct {
+	base stm.Addr
+	n    int
+}
+
+// NewCounterArray allocates n counters initialized to init at site
+// "<name>.slots".
+func NewCounterArray(tx *stm.Tx, rt *stm.Runtime, name string, n int, init uint64) *CounterArray {
+	site := rt.RegisterSite(name + ".slots")
+	base := tx.Alloc(site, n)
+	for i := 0; i < n; i++ {
+		tx.Store(base+stm.Addr(i), init)
+	}
+	return &CounterArray{base: base, n: n}
+}
+
+// N returns the number of counters.
+func (c *CounterArray) N() int { return c.n }
+
+// Addr returns the heap address of counter i, for callers that mix the
+// array with raw Tx.Load/Store access.
+func (c *CounterArray) Addr(i int) stm.Addr { return c.base + stm.Addr(i) }
+
+// Get returns counter i.
+func (c *CounterArray) Get(tx *stm.Tx, i int) uint64 {
+	return tx.Load(c.base + stm.Addr(i))
+}
+
+// Set stores v into counter i.
+func (c *CounterArray) Set(tx *stm.Tx, i int, v uint64) {
+	tx.Store(c.base+stm.Addr(i), v)
+}
+
+// Add adds delta to counter i and returns the new value.
+func (c *CounterArray) Add(tx *stm.Tx, i int, delta uint64) uint64 {
+	v := tx.Load(c.base+stm.Addr(i)) + delta
+	tx.Store(c.base+stm.Addr(i), v)
+	return v
+}
+
+// Transfer moves amount from counter i to counter j; it reports false
+// (and changes nothing) when counter i is too small.
+func (c *CounterArray) Transfer(tx *stm.Tx, i, j int, amount uint64) bool {
+	v := tx.Load(c.base + stm.Addr(i))
+	if v < amount {
+		return false
+	}
+	tx.Store(c.base+stm.Addr(i), v-amount)
+	tx.Store(c.base+stm.Addr(j), tx.Load(c.base+stm.Addr(j))+amount)
+	return true
+}
+
+// Sum returns the total across all counters (a long read-only scan).
+func (c *CounterArray) Sum(tx *stm.Tx) uint64 {
+	var s uint64
+	for i := 0; i < c.n; i++ {
+		s += tx.Load(c.base + stm.Addr(i))
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package txds
+
+import "repro/stm"
+
+// Deque is a double-ended queue over a doubly-linked chain. Both ends are
+// hot words (like Queue) but the two ends are distinct orecs, so
+// fine-grained conflict detection lets front- and back-workers proceed in
+// parallel while coarse granularity serializes them — a minimal
+// illustration of the paper's granularity discussion.
+type Deque struct {
+	meta     stm.Addr // [0]=front, [1]=back
+	nodeSite stm.SiteID
+}
+
+const (
+	dqFront = 0
+	dqBack  = 1
+
+	dqVal       = 0
+	dqPrev      = 1
+	dqNext      = 2
+	dqNodeWords = 3
+)
+
+// NewDeque creates an empty deque with sites "<name>.meta" and
+// "<name>.node".
+func NewDeque(tx *stm.Tx, rt *stm.Runtime, name string) *Deque {
+	mSite := rt.RegisterSite(name + ".meta")
+	nSite := rt.RegisterSite(name + ".node")
+	meta := tx.Alloc(mSite, 2)
+	tx.StoreAddr(meta+dqFront, stm.Nil)
+	tx.StoreAddr(meta+dqBack, stm.Nil)
+	return &Deque{meta: meta, nodeSite: nSite}
+}
+
+// PushFront prepends v.
+func (d *Deque) PushFront(tx *stm.Tx, v uint64) {
+	n := tx.Alloc(d.nodeSite, dqNodeWords)
+	tx.Store(n+dqVal, v)
+	tx.StoreAddr(n+dqPrev, stm.Nil)
+	front := tx.LoadAddr(d.meta + dqFront)
+	tx.StoreAddr(n+dqNext, front)
+	if front == stm.Nil {
+		tx.StoreAddr(d.meta+dqBack, n)
+	} else {
+		tx.StoreAddr(front+dqPrev, n)
+	}
+	tx.StoreAddr(d.meta+dqFront, n)
+}
+
+// PushBack appends v.
+func (d *Deque) PushBack(tx *stm.Tx, v uint64) {
+	n := tx.Alloc(d.nodeSite, dqNodeWords)
+	tx.Store(n+dqVal, v)
+	tx.StoreAddr(n+dqNext, stm.Nil)
+	back := tx.LoadAddr(d.meta + dqBack)
+	tx.StoreAddr(n+dqPrev, back)
+	if back == stm.Nil {
+		tx.StoreAddr(d.meta+dqFront, n)
+	} else {
+		tx.StoreAddr(back+dqNext, n)
+	}
+	tx.StoreAddr(d.meta+dqBack, n)
+}
+
+// PopFront removes and returns the first element.
+func (d *Deque) PopFront(tx *stm.Tx) (uint64, bool) {
+	front := tx.LoadAddr(d.meta + dqFront)
+	if front == stm.Nil {
+		return 0, false
+	}
+	v := tx.Load(front + dqVal)
+	next := tx.LoadAddr(front + dqNext)
+	tx.StoreAddr(d.meta+dqFront, next)
+	if next == stm.Nil {
+		tx.StoreAddr(d.meta+dqBack, stm.Nil)
+	} else {
+		tx.StoreAddr(next+dqPrev, stm.Nil)
+	}
+	tx.Free(front, dqNodeWords)
+	return v, true
+}
+
+// PopBack removes and returns the last element.
+func (d *Deque) PopBack(tx *stm.Tx) (uint64, bool) {
+	back := tx.LoadAddr(d.meta + dqBack)
+	if back == stm.Nil {
+		return 0, false
+	}
+	v := tx.Load(back + dqVal)
+	prev := tx.LoadAddr(back + dqPrev)
+	tx.StoreAddr(d.meta+dqBack, prev)
+	if prev == stm.Nil {
+		tx.StoreAddr(d.meta+dqFront, stm.Nil)
+	} else {
+		tx.StoreAddr(prev+dqNext, stm.Nil)
+	}
+	tx.Free(back, dqNodeWords)
+	return v, true
+}
+
+// Front returns the first element without removing it.
+func (d *Deque) Front(tx *stm.Tx) (uint64, bool) {
+	front := tx.LoadAddr(d.meta + dqFront)
+	if front == stm.Nil {
+		return 0, false
+	}
+	return tx.Load(front + dqVal), true
+}
+
+// Back returns the last element without removing it.
+func (d *Deque) Back(tx *stm.Tx) (uint64, bool) {
+	back := tx.LoadAddr(d.meta + dqBack)
+	if back == stm.Nil {
+		return 0, false
+	}
+	return tx.Load(back + dqVal), true
+}
+
+// Len counts elements front to back.
+func (d *Deque) Len(tx *stm.Tx) int {
+	n := 0
+	for x := tx.LoadAddr(d.meta + dqFront); x != stm.Nil; x = tx.LoadAddr(x + dqNext) {
+		n++
+	}
+	return n
+}
+
+// Values returns the elements front to back.
+func (d *Deque) Values(tx *stm.Tx) []uint64 {
+	var out []uint64
+	for x := tx.LoadAddr(d.meta + dqFront); x != stm.Nil; x = tx.LoadAddr(x + dqNext) {
+		out = append(out, tx.Load(x+dqVal))
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package txds
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/stm"
+)
+
+// TestDequeAgainstModel runs random operations on both a Deque and a
+// slice model and compares every result and the full contents.
+func TestDequeAgainstModel(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var d *Deque
+	th.Atomic(func(tx *stm.Tx) { d = NewDeque(tx, rt, "dqm") })
+
+	var model []uint64
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 6000; i++ {
+		v := rng.Uint64() % 1000
+		switch rng.Intn(6) {
+		case 0, 1:
+			th.Atomic(func(tx *stm.Tx) { d.PushFront(tx, v) })
+			model = append([]uint64{v}, model...)
+		case 2, 3:
+			th.Atomic(func(tx *stm.Tx) { d.PushBack(tx, v) })
+			model = append(model, v)
+		case 4:
+			var got uint64
+			var ok bool
+			th.Atomic(func(tx *stm.Tx) { got, ok = d.PopFront(tx) })
+			if ok != (len(model) > 0) {
+				t.Fatalf("op %d: PopFront ok=%v, model len %d", i, ok, len(model))
+			}
+			if ok {
+				if got != model[0] {
+					t.Fatalf("op %d: PopFront = %d, model %d", i, got, model[0])
+				}
+				model = model[1:]
+			}
+		case 5:
+			var got uint64
+			var ok bool
+			th.Atomic(func(tx *stm.Tx) { got, ok = d.PopBack(tx) })
+			if ok != (len(model) > 0) {
+				t.Fatalf("op %d: PopBack ok=%v, model len %d", i, ok, len(model))
+			}
+			if ok {
+				if got != model[len(model)-1] {
+					t.Fatalf("op %d: PopBack = %d, model %d", i, got, model[len(model)-1])
+				}
+				model = model[:len(model)-1]
+			}
+		}
+		if i%500 == 0 {
+			th.ReadOnlyAtomic(func(tx *stm.Tx) {
+				vals := d.Values(tx)
+				if len(vals) != len(model) {
+					t.Fatalf("op %d: Values len %d, model %d", i, len(vals), len(model))
+				}
+				for j := range vals {
+					if vals[j] != model[j] {
+						t.Fatalf("op %d: Values[%d] = %d, model %d", i, j, vals[j], model[j])
+					}
+				}
+				if f, ok := d.Front(tx); ok != (len(model) > 0) || (ok && f != model[0]) {
+					t.Fatalf("op %d: Front mismatch", i)
+				}
+				if bk, ok := d.Back(tx); ok != (len(model) > 0) || (ok && bk != model[len(model)-1]) {
+					t.Fatalf("op %d: Back mismatch", i)
+				}
+			})
+		}
+	}
+}
+
+// TestDequeSymmetry is the testing/quick law: pushing a sequence at the
+// back and popping from the front is FIFO; pushing at the back and popping
+// from the back is LIFO.
+func TestDequeSymmetry(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	idx := 0
+	f := func(vals []uint64, lifo bool) bool {
+		idx++
+		var d *Deque
+		th.Atomic(func(tx *stm.Tx) { d = NewDeque(tx, rt, "dqs"+itoa(idx)) })
+		for _, v := range vals {
+			vv := v
+			th.Atomic(func(tx *stm.Tx) { d.PushBack(tx, vv) })
+		}
+		for i := range vals {
+			want := vals[i]
+			if lifo {
+				want = vals[len(vals)-1-i]
+			}
+			var got uint64
+			var ok bool
+			th.Atomic(func(tx *stm.Tx) {
+				if lifo {
+					got, ok = d.PopBack(tx)
+				} else {
+					got, ok = d.PopFront(tx)
+				}
+			})
+			if !ok || got != want {
+				return false
+			}
+		}
+		var empty bool
+		th.Atomic(func(tx *stm.Tx) { empty = d.Len(tx) == 0 })
+		return empty
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStackAgainstModel runs random push/pop against a slice model.
+func TestStackAgainstModel(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var s *Stack
+	th.Atomic(func(tx *stm.Tx) { s = NewStack(tx, rt, "stm") })
+	var model []uint64
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 6000; i++ {
+		v := rng.Uint64() % 1000
+		if rng.Intn(2) == 0 {
+			th.Atomic(func(tx *stm.Tx) { s.Push(tx, v) })
+			model = append(model, v)
+			continue
+		}
+		var got uint64
+		var ok bool
+		th.Atomic(func(tx *stm.Tx) { got, ok = s.Pop(tx) })
+		if ok != (len(model) > 0) {
+			t.Fatalf("op %d: Pop ok=%v, model len %d", i, ok, len(model))
+		}
+		if ok {
+			if got != model[len(model)-1] {
+				t.Fatalf("op %d: Pop = %d, model %d", i, got, model[len(model)-1])
+			}
+			model = model[:len(model)-1]
+		}
+		if i%500 == 0 {
+			th.ReadOnlyAtomic(func(tx *stm.Tx) {
+				if n := s.Len(tx); n != len(model) {
+					t.Fatalf("op %d: Len = %d, model %d", i, n, len(model))
+				}
+				if top, ok := s.Peek(tx); ok != (len(model) > 0) || (ok && top != model[len(model)-1]) {
+					t.Fatalf("op %d: Peek mismatch", i)
+				}
+			})
+		}
+	}
+}
+
+// TestStackConcurrentConservation pushes a known multiset from several
+// goroutines while others pop; total pushed = total popped + remaining.
+func TestStackConcurrentConservation(t *testing.T) {
+	rt := newRT(t)
+	setup := rt.MustAttach()
+	var s *Stack
+	setup.Atomic(func(tx *stm.Tx) { s = NewStack(tx, rt, "stc") })
+	rt.Detach(setup)
+
+	const pushers, perP = 4, 400
+	var popped sync.Map
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < pushers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			for i := 0; i < perP; i++ {
+				tag := uint64(id*perP + i)
+				th.Atomic(func(tx *stm.Tx) { s.Push(tx, tag) })
+			}
+		}(w)
+	}
+	var popWg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		popWg.Add(1)
+		go func() {
+			defer popWg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var tag uint64
+				var ok bool
+				th.Atomic(func(tx *stm.Tx) { tag, ok = s.Pop(tx) })
+				if ok {
+					if _, dup := popped.LoadOrStore(tag, true); dup {
+						t.Errorf("value %d popped twice", tag)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	popWg.Wait()
+
+	// Drain the remainder single-threaded; the union must be exact.
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	for {
+		var tag uint64
+		var ok bool
+		th.Atomic(func(tx *stm.Tx) { tag, ok = s.Pop(tx) })
+		if !ok {
+			break
+		}
+		if _, dup := popped.LoadOrStore(tag, true); dup {
+			t.Fatalf("value %d popped twice (drain)", tag)
+		}
+	}
+	for i := 0; i < pushers*perP; i++ {
+		if _, ok := popped.Load(uint64(i)); !ok {
+			t.Fatalf("value %d lost", i)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package txds_test
+
+import (
+	"fmt"
+
+	"repro/stm"
+	"repro/txds"
+)
+
+func newExampleRT() (*stm.Runtime, *stm.Thread) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 18})
+	return rt, rt.MustAttach()
+}
+
+// ExampleRBTree shows the ordered-map surface of the red/black tree.
+func ExampleRBTree() {
+	rt, th := newExampleRT()
+	defer rt.Detach(th)
+	var tree *txds.RBTree
+	th.Atomic(func(tx *stm.Tx) { tree = txds.NewRBTree(tx, rt, "ex.tree") })
+	th.Atomic(func(tx *stm.Tx) {
+		tree.Insert(tx, 30, 300)
+		tree.Insert(tx, 10, 100)
+		tree.Insert(tx, 20, 200)
+	})
+	th.ReadOnlyAtomic(func(tx *stm.Tx) {
+		fmt.Println("keys:", tree.Keys(tx))
+		v, _ := tree.Lookup(tx, 20)
+		fmt.Println("tree[20] =", v)
+		minK, _ := tree.Min(tx)
+		fmt.Println("min key =", minK)
+	})
+	// Output:
+	// keys: [10 20 30]
+	// tree[20] = 200
+	// min key = 10
+}
+
+// ExamplePriorityQueue shows min-priority ordering with duplicates.
+func ExamplePriorityQueue() {
+	rt, th := newExampleRT()
+	defer rt.Detach(th)
+	var pq *txds.PriorityQueue
+	th.Atomic(func(tx *stm.Tx) { pq = txds.NewPriorityQueue(tx, rt, "ex.pq", 1) })
+	th.Atomic(func(tx *stm.Tx) {
+		pq.Insert(tx, 5, 50)
+		pq.Insert(tx, 1, 10)
+		pq.Insert(tx, 5, 51)
+		pq.Insert(tx, 3, 30)
+	})
+	th.Atomic(func(tx *stm.Tx) {
+		for {
+			prio, _, ok := pq.PopMin(tx)
+			if !ok {
+				break
+			}
+			fmt.Print(prio, " ")
+		}
+		fmt.Println()
+	})
+	// Output: 1 3 5 5
+}
+
+// ExampleDeque shows both ends of the double-ended queue.
+func ExampleDeque() {
+	rt, th := newExampleRT()
+	defer rt.Detach(th)
+	var d *txds.Deque
+	th.Atomic(func(tx *stm.Tx) { d = txds.NewDeque(tx, rt, "ex.deque") })
+	th.Atomic(func(tx *stm.Tx) {
+		d.PushBack(tx, 2)
+		d.PushFront(tx, 1)
+		d.PushBack(tx, 3)
+	})
+	th.ReadOnlyAtomic(func(tx *stm.Tx) { fmt.Println(d.Values(tx)) })
+	th.Atomic(func(tx *stm.Tx) {
+		front, _ := d.PopFront(tx)
+		back, _ := d.PopBack(tx)
+		fmt.Println(front, back)
+	})
+	// Output:
+	// [1 2 3]
+	// 1 3
+}
+
+// ExampleQueue shows FIFO ordering across transactions.
+func ExampleQueue() {
+	rt, th := newExampleRT()
+	defer rt.Detach(th)
+	var q *txds.Queue
+	th.Atomic(func(tx *stm.Tx) { q = txds.NewQueue(tx, rt, "ex.queue") })
+	for v := uint64(1); v <= 3; v++ {
+		vv := v
+		th.Atomic(func(tx *stm.Tx) { q.Enqueue(tx, vv) })
+	}
+	for {
+		var v uint64
+		var ok bool
+		th.Atomic(func(tx *stm.Tx) { v, ok = q.Dequeue(tx) })
+		if !ok {
+			break
+		}
+		fmt.Print(v, " ")
+	}
+	fmt.Println()
+	// Output: 1 2 3
+}
+
+// ExampleCounterArray shows the invariant-preserving transfer helper.
+func ExampleCounterArray() {
+	rt, th := newExampleRT()
+	defer rt.Detach(th)
+	var accounts *txds.CounterArray
+	th.Atomic(func(tx *stm.Tx) {
+		accounts = txds.NewCounterArray(tx, rt, "ex.accounts", 4, 100)
+	})
+	th.Atomic(func(tx *stm.Tx) { accounts.Transfer(tx, 0, 3, 25) })
+	th.ReadOnlyAtomic(func(tx *stm.Tx) {
+		fmt.Println("a0:", accounts.Get(tx, 0), "a3:", accounts.Get(tx, 3), "sum:", accounts.Sum(tx))
+	})
+	// Output: a0: 75 a3: 125 sum: 400
+}

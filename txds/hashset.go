@@ -1,0 +1,118 @@
+package txds
+
+import "repro/stm"
+
+// HashSet is a fixed-bucket chained hash map. Its short transactions
+// (hash, walk a short chain) make it the low-conflict structure of the
+// intset family, and its bucket array is the showcase for
+// conflict-detection granularity: with coarse orec mapping, operations on
+// different buckets false-share orecs.
+type HashSet struct {
+	buckets  stm.Addr // [0]=nbuckets, [1..1+nbuckets) chain heads
+	nbuckets uint64
+	nodeSite stm.SiteID
+}
+
+const hsNodeWords = 3 // key, val, next
+
+// NewHashSet creates a hash set with nbuckets chains (rounded up to a
+// power of two) and sites "<name>.buckets" and "<name>.node".
+func NewHashSet(tx *stm.Tx, rt *stm.Runtime, name string, nbuckets int) *HashSet {
+	bSite := rt.RegisterSite(name + ".buckets")
+	nSite := rt.RegisterSite(name + ".node")
+	nb := uint64(1)
+	for nb < uint64(nbuckets) {
+		nb <<= 1
+	}
+	root := tx.Alloc(bSite, int(nb)+1)
+	tx.Store(root, nb)
+	for i := uint64(0); i < nb; i++ {
+		tx.Store(root+1+stm.Addr(i), uint64(stm.Nil))
+	}
+	return &HashSet{buckets: root, nbuckets: nb, nodeSite: nSite}
+}
+
+// hash mixes k (splitmix64 finalizer) onto a bucket index.
+func (h *HashSet) hash(k uint64) uint64 {
+	z := k + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return (z ^ (z >> 31)) & (h.nbuckets - 1)
+}
+
+func (h *HashSet) bucketCell(k uint64) stm.Addr {
+	return h.buckets + 1 + stm.Addr(h.hash(k))
+}
+
+// Lookup returns the value stored under k.
+func (h *HashSet) Lookup(tx *stm.Tx, k uint64) (uint64, bool) {
+	for n := tx.LoadAddr(h.bucketCell(k)); n != stm.Nil; n = tx.LoadAddr(n + offNext) {
+		if tx.Load(n+offKey) == k {
+			return tx.Load(n + offVal), true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports set membership.
+func (h *HashSet) Contains(tx *stm.Tx, k uint64) bool {
+	_, ok := h.Lookup(tx, k)
+	return ok
+}
+
+// Insert adds k→v if absent; reports whether it inserted.
+func (h *HashSet) Insert(tx *stm.Tx, k, v uint64) bool {
+	cell := h.bucketCell(k)
+	for n := tx.LoadAddr(cell); n != stm.Nil; n = tx.LoadAddr(n + offNext) {
+		if tx.Load(n+offKey) == k {
+			return false
+		}
+	}
+	n := tx.Alloc(h.nodeSite, hsNodeWords)
+	tx.Store(n+offKey, k)
+	tx.Store(n+offVal, v)
+	tx.StoreAddr(n+offNext, tx.LoadAddr(cell))
+	tx.StoreAddr(cell, n)
+	return true
+}
+
+// Set stores k→v (upsert); reports whether the key was newly inserted.
+func (h *HashSet) Set(tx *stm.Tx, k, v uint64) bool {
+	cell := h.bucketCell(k)
+	for n := tx.LoadAddr(cell); n != stm.Nil; n = tx.LoadAddr(n + offNext) {
+		if tx.Load(n+offKey) == k {
+			tx.Store(n+offVal, v)
+			return false
+		}
+	}
+	return h.Insert(tx, k, v)
+}
+
+// Remove deletes k, returning its value.
+func (h *HashSet) Remove(tx *stm.Tx, k uint64) (uint64, bool) {
+	cell := h.bucketCell(k)
+	for n := tx.LoadAddr(cell); n != stm.Nil; n = tx.LoadAddr(n + offNext) {
+		if tx.Load(n+offKey) == k {
+			v := tx.Load(n + offVal)
+			tx.StoreAddr(cell, tx.LoadAddr(n+offNext))
+			tx.Free(n, hsNodeWords)
+			return v, true
+		}
+		cell = n + offNext
+	}
+	return 0, false
+}
+
+// Len counts all elements (walks every chain).
+func (h *HashSet) Len(tx *stm.Tx) int {
+	total := 0
+	for b := uint64(0); b < h.nbuckets; b++ {
+		for n := tx.LoadAddr(h.buckets + 1 + stm.Addr(b)); n != stm.Nil; n = tx.LoadAddr(n + offNext) {
+			total++
+		}
+	}
+	return total
+}
+
+// NumBuckets returns the bucket count.
+func (h *HashSet) NumBuckets() uint64 { return h.nbuckets }

@@ -1,0 +1,118 @@
+package txds
+
+import "repro/stm"
+
+// List is a sorted singly-linked list with set semantics (one node per
+// key). It is the canonical high-constant-cost structure of the intset
+// benchmarks: lookups walk O(n) nodes transactionally, which makes long
+// read sets and, under updates, high validation pressure.
+type List struct {
+	head     stm.Addr // one-word cell holding the first node address
+	nodeSite stm.SiteID
+}
+
+const listNodeWords = 3 // key, val, next
+
+// NewList creates an empty list. Sites are registered as "<name>.head"
+// and "<name>.node".
+func NewList(tx *stm.Tx, rt *stm.Runtime, name string) *List {
+	headSite := rt.RegisterSite(name + ".head")
+	nodeSite := rt.RegisterSite(name + ".node")
+	head := tx.Alloc(headSite, 1)
+	tx.Store(head, uint64(stm.Nil))
+	return &List{head: head, nodeSite: nodeSite}
+}
+
+// locate returns (pred, curr) where curr is the first node with key >=
+// k; pred is the address of the pointer cell leading to curr (the head
+// cell or a node's next field).
+func (l *List) locate(tx *stm.Tx, k uint64) (ptrCell, curr stm.Addr) {
+	ptrCell = l.head
+	curr = tx.LoadAddr(ptrCell)
+	for curr != stm.Nil {
+		if tx.Load(curr+offKey) >= k {
+			return ptrCell, curr
+		}
+		ptrCell = curr + offNext
+		curr = tx.LoadAddr(ptrCell)
+	}
+	return ptrCell, stm.Nil
+}
+
+// Lookup returns the value stored under k.
+func (l *List) Lookup(tx *stm.Tx, k uint64) (uint64, bool) {
+	_, curr := l.locate(tx, k)
+	if curr == stm.Nil || tx.Load(curr+offKey) != k {
+		return 0, false
+	}
+	return tx.Load(curr + offVal), true
+}
+
+// Contains reports whether k is in the set.
+func (l *List) Contains(tx *stm.Tx, k uint64) bool {
+	_, ok := l.Lookup(tx, k)
+	return ok
+}
+
+// Insert adds k→v if absent; it reports whether the key was inserted.
+func (l *List) Insert(tx *stm.Tx, k, v uint64) bool {
+	ptrCell, curr := l.locate(tx, k)
+	if curr != stm.Nil && tx.Load(curr+offKey) == k {
+		return false
+	}
+	n := tx.Alloc(l.nodeSite, listNodeWords)
+	tx.Store(n+offKey, k)
+	tx.Store(n+offVal, v)
+	tx.StoreAddr(n+offNext, curr)
+	tx.StoreAddr(ptrCell, n)
+	return true
+}
+
+// Set stores k→v, inserting or overwriting; it reports whether the key
+// was newly inserted.
+func (l *List) Set(tx *stm.Tx, k, v uint64) bool {
+	ptrCell, curr := l.locate(tx, k)
+	if curr != stm.Nil && tx.Load(curr+offKey) == k {
+		tx.Store(curr+offVal, v)
+		return false
+	}
+	n := tx.Alloc(l.nodeSite, listNodeWords)
+	tx.Store(n+offKey, k)
+	tx.Store(n+offVal, v)
+	tx.StoreAddr(n+offNext, curr)
+	tx.StoreAddr(ptrCell, n)
+	return true
+}
+
+// Remove deletes k, returning its value.
+func (l *List) Remove(tx *stm.Tx, k uint64) (uint64, bool) {
+	ptrCell, curr := l.locate(tx, k)
+	if curr == stm.Nil || tx.Load(curr+offKey) != k {
+		return 0, false
+	}
+	v := tx.Load(curr + offVal)
+	tx.StoreAddr(ptrCell, tx.LoadAddr(curr+offNext))
+	tx.Free(curr, listNodeWords)
+	return v, true
+}
+
+// Len counts the elements (O(n) walk).
+func (l *List) Len(tx *stm.Tx) int {
+	n := 0
+	for curr := tx.LoadAddr(l.head); curr != stm.Nil; curr = tx.LoadAddr(curr + offNext) {
+		n++
+	}
+	return n
+}
+
+// Keys returns the keys in ascending order (test/report helper).
+func (l *List) Keys(tx *stm.Tx) []uint64 {
+	var out []uint64
+	for curr := tx.LoadAddr(l.head); curr != stm.Nil; curr = tx.LoadAddr(curr + offNext) {
+		out = append(out, tx.Load(curr+offKey))
+	}
+	return out
+}
+
+// Head returns the head cell address (used by partition reports).
+func (l *List) Head() stm.Addr { return l.head }

@@ -1,0 +1,132 @@
+package txds
+
+import (
+	"sync/atomic"
+
+	"repro/stm"
+)
+
+// PriorityQueue is a min-priority queue backed by a skip list that admits
+// duplicate priorities (elements of equal priority pop in unspecified
+// order). Its access pattern is asymmetric in a way plain sets are not:
+// PopMin hammers the minimum end of the structure (hot prefix), while
+// Insert lands anywhere — so the minimum's orec sees queue-like contention
+// and the tail sees set-like contention. This makes it a useful partition
+// specimen between Queue (all-hot) and SkipList (all-cold).
+type PriorityQueue struct {
+	head     stm.Addr // head tower: [0]=level, [1..1+MaxLevel) next pointers
+	nodeSite stm.SiteID
+	seed     atomic.Uint64
+}
+
+// Priority-queue node layout matches the skip list:
+// [0]=priority, [1]=val, [2]=level, [3..3+level) nexts.
+
+// NewPriorityQueue creates an empty priority queue with sites
+// "<name>.head" and "<name>.node".
+func NewPriorityQueue(tx *stm.Tx, rt *stm.Runtime, name string, seed uint64) *PriorityQueue {
+	headSite := rt.RegisterSite(name + ".head")
+	nodeSite := rt.RegisterSite(name + ".node")
+	head := tx.Alloc(headSite, slHeadWords)
+	tx.Store(head, SkipListMaxLevel)
+	for i := 0; i < SkipListMaxLevel; i++ {
+		tx.Store(head+slHeadBase+stm.Addr(i), uint64(stm.Nil))
+	}
+	q := &PriorityQueue{head: head, nodeSite: nodeSite}
+	q.seed.Store(seed*2654435761 + 0x9E3779B97F4A7C15)
+	return q
+}
+
+func (q *PriorityQueue) randLevel() int {
+	z := q.seed.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	lvl := 1
+	for z&1 == 1 && lvl < SkipListMaxLevel {
+		lvl++
+		z >>= 1
+	}
+	return lvl
+}
+
+func (q *PriorityQueue) nextCell(node stm.Addr, i int) stm.Addr {
+	if node == q.head {
+		return q.head + slHeadBase + stm.Addr(i)
+	}
+	return node + slNextBase + stm.Addr(i)
+}
+
+// Insert adds an element with the given priority. Duplicates are allowed:
+// the new element is placed after existing elements of equal priority.
+func (q *PriorityQueue) Insert(tx *stm.Tx, prio, val uint64) {
+	var preds [SkipListMaxLevel]stm.Addr
+	x := q.head
+	for i := SkipListMaxLevel - 1; i >= 0; i-- {
+		for {
+			nxt := tx.LoadAddr(q.nextCell(x, i))
+			if nxt == stm.Nil || tx.Load(nxt+offKey) > prio {
+				break
+			}
+			x = nxt
+		}
+		preds[i] = x
+	}
+	lvl := q.randLevel()
+	n := tx.Alloc(q.nodeSite, slNextBase+lvl)
+	tx.Store(n+offKey, prio)
+	tx.Store(n+offVal, val)
+	tx.Store(n+slLevel, uint64(lvl))
+	for i := 0; i < lvl; i++ {
+		tx.StoreAddr(n+slNextBase+stm.Addr(i), tx.LoadAddr(q.nextCell(preds[i], i)))
+		tx.StoreAddr(q.nextCell(preds[i], i), n)
+	}
+}
+
+// Min returns the minimum-priority element without removing it.
+func (q *PriorityQueue) Min(tx *stm.Tx) (prio, val uint64, ok bool) {
+	first := tx.LoadAddr(q.head + slHeadBase)
+	if first == stm.Nil {
+		return 0, 0, false
+	}
+	return tx.Load(first + offKey), tx.Load(first + offVal), true
+}
+
+// PopMin removes and returns the minimum-priority element.
+func (q *PriorityQueue) PopMin(tx *stm.Tx) (prio, val uint64, ok bool) {
+	first := tx.LoadAddr(q.head + slHeadBase)
+	if first == stm.Nil {
+		return 0, 0, false
+	}
+	prio = tx.Load(first + offKey)
+	val = tx.Load(first + offVal)
+	lvl := int(tx.Load(first + slLevel))
+	for i := 0; i < lvl; i++ {
+		// The minimum node is the first at every level it occupies.
+		tx.StoreAddr(q.head+slHeadBase+stm.Addr(i), tx.LoadAddr(first+slNextBase+stm.Addr(i)))
+	}
+	tx.Free(first, slNextBase+lvl)
+	return prio, val, true
+}
+
+// Len counts queued elements.
+func (q *PriorityQueue) Len(tx *stm.Tx) int {
+	n := 0
+	for x := tx.LoadAddr(q.head + slHeadBase); x != stm.Nil; x = tx.LoadAddr(x + slNextBase) {
+		n++
+	}
+	return n
+}
+
+// Drain pops every element ascending and returns the (priority, value)
+// pairs; used by tests and by batch consumers.
+func (q *PriorityQueue) Drain(tx *stm.Tx) (prios, vals []uint64) {
+	for {
+		p, v, ok := q.PopMin(tx)
+		if !ok {
+			return prios, vals
+		}
+		prios = append(prios, p)
+		vals = append(vals, v)
+	}
+}

@@ -1,0 +1,80 @@
+package txds
+
+import "repro/stm"
+
+// Queue is a FIFO queue (head/tail cells plus a singly-linked chain).
+// Queues concentrate every operation on two words, making them the
+// maximal-contention structure — the natural candidate for visible reads
+// or coarse conflict detection.
+type Queue struct {
+	meta     stm.Addr // [0]=head, [1]=tail
+	nodeSite stm.SiteID
+}
+
+const (
+	qHead = 0
+	qTail = 1
+
+	qVal       = 0
+	qNext      = 1
+	qNodeWords = 2
+)
+
+// NewQueue creates an empty queue with sites "<name>.meta" and
+// "<name>.node".
+func NewQueue(tx *stm.Tx, rt *stm.Runtime, name string) *Queue {
+	mSite := rt.RegisterSite(name + ".meta")
+	nSite := rt.RegisterSite(name + ".node")
+	meta := tx.Alloc(mSite, 2)
+	tx.Store(meta+qHead, uint64(stm.Nil))
+	tx.Store(meta+qTail, uint64(stm.Nil))
+	return &Queue{meta: meta, nodeSite: nSite}
+}
+
+// Enqueue appends v.
+func (q *Queue) Enqueue(tx *stm.Tx, v uint64) {
+	n := tx.Alloc(q.nodeSite, qNodeWords)
+	tx.Store(n+qVal, v)
+	tx.StoreAddr(n+qNext, stm.Nil)
+	tail := tx.LoadAddr(q.meta + qTail)
+	if tail == stm.Nil {
+		tx.StoreAddr(q.meta+qHead, n)
+	} else {
+		tx.StoreAddr(tail+qNext, n)
+	}
+	tx.StoreAddr(q.meta+qTail, n)
+}
+
+// Dequeue removes and returns the oldest element.
+func (q *Queue) Dequeue(tx *stm.Tx) (uint64, bool) {
+	head := tx.LoadAddr(q.meta + qHead)
+	if head == stm.Nil {
+		return 0, false
+	}
+	v := tx.Load(head + qVal)
+	next := tx.LoadAddr(head + qNext)
+	tx.StoreAddr(q.meta+qHead, next)
+	if next == stm.Nil {
+		tx.StoreAddr(q.meta+qTail, stm.Nil)
+	}
+	tx.Free(head, qNodeWords)
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (q *Queue) Peek(tx *stm.Tx) (uint64, bool) {
+	head := tx.LoadAddr(q.meta + qHead)
+	if head == stm.Nil {
+		return 0, false
+	}
+	return tx.Load(head + qVal), true
+}
+
+// Len counts queued elements.
+func (q *Queue) Len(tx *stm.Tx) int {
+	n := 0
+	for x := tx.LoadAddr(q.meta + qHead); x != stm.Nil; x = tx.LoadAddr(x + qNext) {
+		n++
+	}
+	return n
+}

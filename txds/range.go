@@ -1,0 +1,110 @@
+package txds
+
+import "repro/stm"
+
+// Range visitors: every ordered structure can enumerate the keys in
+// [lo, hi] in ascending order, stopping early when the visitor returns
+// false. Range scans are the canonical long-read-set transaction shape —
+// under invisible reads a scan validates against every concurrent commit
+// in the range, making these methods the natural probes for the
+// visible/invisible trade-off on real access patterns.
+
+// Range visits k→v pairs of the list with lo ≤ k ≤ hi in ascending order.
+func (l *List) Range(tx *stm.Tx, lo, hi uint64, visit func(k, v uint64) bool) {
+	x := tx.LoadAddr(l.head)
+	for x != stm.Nil {
+		k := tx.Load(x + offKey)
+		if k > hi {
+			return
+		}
+		if k >= lo && !visit(k, tx.Load(x+offVal)) {
+			return
+		}
+		x = tx.LoadAddr(x + offNext)
+	}
+}
+
+// Range visits k→v pairs of the skip list with lo ≤ k ≤ hi ascending,
+// using the towers to skip straight to lo.
+func (s *SkipList) Range(tx *stm.Tx, lo, hi uint64, visit func(k, v uint64) bool) {
+	x := s.head
+	for i := SkipListMaxLevel - 1; i >= 0; i-- {
+		for {
+			nxt := tx.LoadAddr(s.nextCell(x, i))
+			if nxt == stm.Nil || tx.Load(nxt+offKey) >= lo {
+				break
+			}
+			x = nxt
+		}
+	}
+	for x = tx.LoadAddr(s.nextCell(x, 0)); x != stm.Nil; x = tx.LoadAddr(x + slNextBase) {
+		k := tx.Load(x + offKey)
+		if k > hi {
+			return
+		}
+		if !visit(k, tx.Load(x+offVal)) {
+			return
+		}
+	}
+}
+
+// Range visits k→v pairs of the tree with lo ≤ k ≤ hi in ascending order.
+func (t *RBTree) Range(tx *stm.Tx, lo, hi uint64, visit func(k, v uint64) bool) {
+	t.rangeRec(tx, t.root(tx), lo, hi, visit)
+}
+
+func (t *RBTree) rangeRec(tx *stm.Tx, n stm.Addr, lo, hi uint64, visit func(k, v uint64) bool) bool {
+	if n == t.nilNode {
+		return true
+	}
+	k := tx.Load(n + offKey)
+	if k > lo {
+		if !t.rangeRec(tx, tx.LoadAddr(n+rbLeft), lo, hi, visit) {
+			return false
+		}
+	}
+	if k >= lo && k <= hi {
+		if !visit(k, tx.Load(n+offVal)) {
+			return false
+		}
+	}
+	if k < hi {
+		return t.rangeRec(tx, tx.LoadAddr(n+rbRight), lo, hi, visit)
+	}
+	return true
+}
+
+// Range visits k→v pairs of the B-tree with lo ≤ k ≤ hi in ascending
+// order. Wide nodes make B-tree range scans read far fewer orecs than
+// the binary trees for the same span.
+func (t *BTree) Range(tx *stm.Tx, lo, hi uint64, visit func(k, v uint64) bool) {
+	t.rangeRec(tx, tx.LoadAddr(t.rootCell), lo, hi, visit)
+}
+
+func (t *BTree) rangeRec(tx *stm.Tx, n stm.Addr, lo, hi uint64, visit func(k, v uint64) bool) bool {
+	cnt := t.count(tx, n)
+	leaf := t.isLeaf(tx, n)
+	for i := 0; i < cnt; i++ {
+		k := t.key(tx, n, i)
+		if !leaf && k > lo {
+			if !t.rangeRec(tx, t.kid(tx, n, i), lo, hi, visit) {
+				return false
+			}
+		}
+		if k > hi {
+			return false
+		}
+		if k >= lo {
+			if !visit(k, t.val(tx, n, i)) {
+				return false
+			}
+		}
+	}
+	if !leaf && cnt > 0 {
+		last := t.key(tx, n, cnt-1)
+		if last < hi {
+			return t.rangeRec(tx, t.kid(tx, n, cnt), lo, hi, visit)
+		}
+	}
+	return true
+}

@@ -1,0 +1,434 @@
+package txds
+
+import "repro/stm"
+
+// RBTree is a red-black tree (CLRS layout: parent pointers plus a single
+// heap-resident black sentinel standing for every leaf). It is the
+// workhorse of the application benchmarks — vacation's reservation tables
+// are red-black trees — and the structure the paper's visible-vs-invisible
+// discussion uses as its low-update example.
+type RBTree struct {
+	rootCell stm.Addr // one-word cell holding the root node address
+	nilNode  stm.Addr // shared black sentinel
+	nodeSite stm.SiteID
+}
+
+// Node layout: [0]=key, [1]=val, [2]=left, [3]=right, [4]=parent,
+// [5]=color.
+const (
+	rbLeft   = 2
+	rbRight  = 3
+	rbParent = 4
+	rbColor  = 5
+
+	rbNodeWords = 6
+
+	red   uint64 = 0
+	black uint64 = 1
+)
+
+// NewRBTree creates an empty tree with sites "<name>.root" and
+// "<name>.node".
+func NewRBTree(tx *stm.Tx, rt *stm.Runtime, name string) *RBTree {
+	rootSite := rt.RegisterSite(name + ".root")
+	nodeSite := rt.RegisterSite(name + ".node")
+	t := &RBTree{nodeSite: nodeSite}
+	t.nilNode = tx.Alloc(nodeSite, rbNodeWords)
+	tx.Store(t.nilNode+offKey, 0)
+	tx.Store(t.nilNode+offVal, 0)
+	tx.StoreAddr(t.nilNode+rbLeft, t.nilNode)
+	tx.StoreAddr(t.nilNode+rbRight, t.nilNode)
+	tx.StoreAddr(t.nilNode+rbParent, t.nilNode)
+	tx.Store(t.nilNode+rbColor, black)
+	t.rootCell = tx.Alloc(rootSite, 1)
+	tx.StoreAddr(t.rootCell, t.nilNode)
+	return t
+}
+
+func (t *RBTree) root(tx *stm.Tx) stm.Addr       { return tx.LoadAddr(t.rootCell) }
+func (t *RBTree) setRoot(tx *stm.Tx, n stm.Addr) { tx.StoreAddr(t.rootCell, n) }
+
+func key(tx *stm.Tx, n stm.Addr) uint64         { return tx.Load(n + offKey) }
+func left(tx *stm.Tx, n stm.Addr) stm.Addr      { return tx.LoadAddr(n + rbLeft) }
+func right(tx *stm.Tx, n stm.Addr) stm.Addr     { return tx.LoadAddr(n + rbRight) }
+func parent(tx *stm.Tx, n stm.Addr) stm.Addr    { return tx.LoadAddr(n + rbParent) }
+func color(tx *stm.Tx, n stm.Addr) uint64       { return tx.Load(n + rbColor) }
+func setLeft(tx *stm.Tx, n, c stm.Addr)         { tx.StoreAddr(n+rbLeft, c) }
+func setRight(tx *stm.Tx, n, c stm.Addr)        { tx.StoreAddr(n+rbRight, c) }
+func setParent(tx *stm.Tx, n, p stm.Addr)       { tx.StoreAddr(n+rbParent, p) }
+func setColor(tx *stm.Tx, n stm.Addr, c uint64) { tx.Store(n+rbColor, c) }
+
+// Lookup returns the value stored under k.
+func (t *RBTree) Lookup(tx *stm.Tx, k uint64) (uint64, bool) {
+	n := t.root(tx)
+	for n != t.nilNode {
+		nk := key(tx, n)
+		switch {
+		case k < nk:
+			n = left(tx, n)
+		case k > nk:
+			n = right(tx, n)
+		default:
+			return tx.Load(n + offVal), true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports set membership.
+func (t *RBTree) Contains(tx *stm.Tx, k uint64) bool {
+	_, ok := t.Lookup(tx, k)
+	return ok
+}
+
+func (t *RBTree) leftRotate(tx *stm.Tx, x stm.Addr) {
+	y := right(tx, x)
+	setRight(tx, x, left(tx, y))
+	if left(tx, y) != t.nilNode {
+		setParent(tx, left(tx, y), x)
+	}
+	setParent(tx, y, parent(tx, x))
+	px := parent(tx, x)
+	switch {
+	case px == t.nilNode:
+		t.setRoot(tx, y)
+	case x == left(tx, px):
+		setLeft(tx, px, y)
+	default:
+		setRight(tx, px, y)
+	}
+	setLeft(tx, y, x)
+	setParent(tx, x, y)
+}
+
+func (t *RBTree) rightRotate(tx *stm.Tx, x stm.Addr) {
+	y := left(tx, x)
+	setLeft(tx, x, right(tx, y))
+	if right(tx, y) != t.nilNode {
+		setParent(tx, right(tx, y), x)
+	}
+	setParent(tx, y, parent(tx, x))
+	px := parent(tx, x)
+	switch {
+	case px == t.nilNode:
+		t.setRoot(tx, y)
+	case x == right(tx, px):
+		setRight(tx, px, y)
+	default:
+		setLeft(tx, px, y)
+	}
+	setRight(tx, y, x)
+	setParent(tx, x, y)
+}
+
+// Insert adds k→v if absent; reports whether it inserted.
+func (t *RBTree) Insert(tx *stm.Tx, k, v uint64) bool {
+	y := t.nilNode
+	x := t.root(tx)
+	for x != t.nilNode {
+		y = x
+		xk := key(tx, x)
+		switch {
+		case k < xk:
+			x = left(tx, x)
+		case k > xk:
+			x = right(tx, x)
+		default:
+			return false
+		}
+	}
+	z := tx.Alloc(t.nodeSite, rbNodeWords)
+	tx.Store(z+offKey, k)
+	tx.Store(z+offVal, v)
+	setLeft(tx, z, t.nilNode)
+	setRight(tx, z, t.nilNode)
+	setParent(tx, z, y)
+	setColor(tx, z, red)
+	switch {
+	case y == t.nilNode:
+		t.setRoot(tx, z)
+	case k < key(tx, y):
+		setLeft(tx, y, z)
+	default:
+		setRight(tx, y, z)
+	}
+	t.insertFixup(tx, z)
+	return true
+}
+
+// Set stores k→v (upsert); reports whether the key was newly inserted.
+func (t *RBTree) Set(tx *stm.Tx, k, v uint64) bool {
+	n := t.root(tx)
+	for n != t.nilNode {
+		nk := key(tx, n)
+		switch {
+		case k < nk:
+			n = left(tx, n)
+		case k > nk:
+			n = right(tx, n)
+		default:
+			tx.Store(n+offVal, v)
+			return false
+		}
+	}
+	return t.Insert(tx, k, v)
+}
+
+func (t *RBTree) insertFixup(tx *stm.Tx, z stm.Addr) {
+	for color(tx, parent(tx, z)) == red {
+		zp := parent(tx, z)
+		zpp := parent(tx, zp)
+		if zp == left(tx, zpp) {
+			y := right(tx, zpp)
+			if color(tx, y) == red {
+				setColor(tx, zp, black)
+				setColor(tx, y, black)
+				setColor(tx, zpp, red)
+				z = zpp
+				continue
+			}
+			if z == right(tx, zp) {
+				z = zp
+				t.leftRotate(tx, z)
+				zp = parent(tx, z)
+				zpp = parent(tx, zp)
+			}
+			setColor(tx, zp, black)
+			setColor(tx, zpp, red)
+			t.rightRotate(tx, zpp)
+		} else {
+			y := left(tx, zpp)
+			if color(tx, y) == red {
+				setColor(tx, zp, black)
+				setColor(tx, y, black)
+				setColor(tx, zpp, red)
+				z = zpp
+				continue
+			}
+			if z == left(tx, zp) {
+				z = zp
+				t.rightRotate(tx, z)
+				zp = parent(tx, z)
+				zpp = parent(tx, zp)
+			}
+			setColor(tx, zp, black)
+			setColor(tx, zpp, red)
+			t.leftRotate(tx, zpp)
+		}
+	}
+	setColor(tx, t.root(tx), black)
+}
+
+// transplant replaces subtree u with subtree v (CLRS RB-TRANSPLANT).
+func (t *RBTree) transplant(tx *stm.Tx, u, v stm.Addr) {
+	up := parent(tx, u)
+	switch {
+	case up == t.nilNode:
+		t.setRoot(tx, v)
+	case u == left(tx, up):
+		setLeft(tx, up, v)
+	default:
+		setRight(tx, up, v)
+	}
+	setParent(tx, v, up) // the sentinel's parent is set too; deleteFixup relies on it
+}
+
+func (t *RBTree) minimum(tx *stm.Tx, n stm.Addr) stm.Addr {
+	for left(tx, n) != t.nilNode {
+		n = left(tx, n)
+	}
+	return n
+}
+
+// Min returns the smallest key (ok=false when empty).
+func (t *RBTree) Min(tx *stm.Tx) (uint64, bool) {
+	r := t.root(tx)
+	if r == t.nilNode {
+		return 0, false
+	}
+	return key(tx, t.minimum(tx, r)), true
+}
+
+// Remove deletes k, returning its value.
+func (t *RBTree) Remove(tx *stm.Tx, k uint64) (uint64, bool) {
+	z := t.root(tx)
+	for z != t.nilNode {
+		zk := key(tx, z)
+		switch {
+		case k < zk:
+			z = left(tx, z)
+		case k > zk:
+			z = right(tx, z)
+		default:
+			v := tx.Load(z + offVal)
+			t.delete(tx, z)
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func (t *RBTree) delete(tx *stm.Tx, z stm.Addr) {
+	y := z
+	yOrig := color(tx, y)
+	var x stm.Addr
+	switch {
+	case left(tx, z) == t.nilNode:
+		x = right(tx, z)
+		t.transplant(tx, z, x)
+	case right(tx, z) == t.nilNode:
+		x = left(tx, z)
+		t.transplant(tx, z, x)
+	default:
+		y = t.minimum(tx, right(tx, z))
+		yOrig = color(tx, y)
+		x = right(tx, y)
+		if parent(tx, y) == z {
+			setParent(tx, x, y)
+		} else {
+			t.transplant(tx, y, x)
+			setRight(tx, y, right(tx, z))
+			setParent(tx, right(tx, y), y)
+		}
+		t.transplant(tx, z, y)
+		setLeft(tx, y, left(tx, z))
+		setParent(tx, left(tx, y), y)
+		setColor(tx, y, color(tx, z))
+	}
+	if yOrig == black {
+		t.deleteFixup(tx, x)
+	}
+	tx.Free(z, rbNodeWords)
+}
+
+func (t *RBTree) deleteFixup(tx *stm.Tx, x stm.Addr) {
+	for x != t.root(tx) && color(tx, x) == black {
+		xp := parent(tx, x)
+		if x == left(tx, xp) {
+			w := right(tx, xp)
+			if color(tx, w) == red {
+				setColor(tx, w, black)
+				setColor(tx, xp, red)
+				t.leftRotate(tx, xp)
+				w = right(tx, xp)
+			}
+			if color(tx, left(tx, w)) == black && color(tx, right(tx, w)) == black {
+				setColor(tx, w, red)
+				x = xp
+				continue
+			}
+			if color(tx, right(tx, w)) == black {
+				setColor(tx, left(tx, w), black)
+				setColor(tx, w, red)
+				t.rightRotate(tx, w)
+				w = right(tx, xp)
+			}
+			setColor(tx, w, color(tx, xp))
+			setColor(tx, xp, black)
+			setColor(tx, right(tx, w), black)
+			t.leftRotate(tx, xp)
+			x = t.root(tx)
+		} else {
+			w := left(tx, xp)
+			if color(tx, w) == red {
+				setColor(tx, w, black)
+				setColor(tx, xp, red)
+				t.rightRotate(tx, xp)
+				w = left(tx, xp)
+			}
+			if color(tx, right(tx, w)) == black && color(tx, left(tx, w)) == black {
+				setColor(tx, w, red)
+				x = xp
+				continue
+			}
+			if color(tx, left(tx, w)) == black {
+				setColor(tx, right(tx, w), black)
+				setColor(tx, w, red)
+				t.leftRotate(tx, w)
+				w = left(tx, xp)
+			}
+			setColor(tx, w, color(tx, xp))
+			setColor(tx, xp, black)
+			setColor(tx, left(tx, w), black)
+			t.rightRotate(tx, xp)
+			x = t.root(tx)
+		}
+	}
+	setColor(tx, x, black)
+}
+
+// Len counts elements (in-order walk).
+func (t *RBTree) Len(tx *stm.Tx) int {
+	n := 0
+	t.walk(tx, t.root(tx), func(node stm.Addr) { n++ })
+	return n
+}
+
+// Keys returns all keys in ascending order.
+func (t *RBTree) Keys(tx *stm.Tx) []uint64 {
+	var out []uint64
+	t.walk(tx, t.root(tx), func(n stm.Addr) { out = append(out, key(tx, n)) })
+	return out
+}
+
+func (t *RBTree) walk(tx *stm.Tx, n stm.Addr, f func(stm.Addr)) {
+	if n == t.nilNode {
+		return
+	}
+	t.walk(tx, left(tx, n), f)
+	f(n)
+	t.walk(tx, right(tx, n), f)
+}
+
+// CheckInvariants validates the red-black properties within tx: root is
+// black, no red node has a red child, every root-to-leaf path has the
+// same black height, and keys are ordered. It returns a descriptive
+// failure or "" when the tree is well-formed. Used by tests and failure
+// injection.
+func (t *RBTree) CheckInvariants(tx *stm.Tx) string {
+	r := t.root(tx)
+	if r == t.nilNode {
+		return ""
+	}
+	if color(tx, r) != black {
+		return "root is red"
+	}
+	_, msg := t.check(tx, r, 0, ^uint64(0))
+	return msg
+}
+
+// check returns (black-height, failure message).
+func (t *RBTree) check(tx *stm.Tx, n stm.Addr, lo, hi uint64) (int, string) {
+	if n == t.nilNode {
+		return 1, ""
+	}
+	k := key(tx, n)
+	if k < lo || k > hi {
+		return 0, "key ordering violated"
+	}
+	if color(tx, n) == red {
+		if color(tx, left(tx, n)) == red || color(tx, right(tx, n)) == red {
+			return 0, "red node with red child"
+		}
+	}
+	var lhi, rlo uint64
+	if k > 0 {
+		lhi = k - 1
+	}
+	rlo = k + 1
+	lh, msg := t.check(tx, left(tx, n), lo, lhi)
+	if msg != "" {
+		return 0, msg
+	}
+	rh, msg := t.check(tx, right(tx, n), rlo, hi)
+	if msg != "" {
+		return 0, msg
+	}
+	if lh != rh {
+		return 0, "black-height mismatch"
+	}
+	if color(tx, n) == black {
+		lh++
+	}
+	return lh, ""
+}

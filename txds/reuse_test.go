@@ -1,0 +1,186 @@
+package txds
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/stm"
+)
+
+// TestNodeRecyclingBoundsHeap cycles insert/remove far beyond the heap
+// capacity; per-thread free lists must recycle nodes so the arena's
+// block-in-use count stabilizes instead of growing with operation count.
+func TestNodeRecyclingBoundsHeap(t *testing.T) {
+	rt, err := stm.New(stm.Config{HeapWords: 1 << 16, BlockShift: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	structures := map[string]setAPI{}
+	th.Atomic(func(tx *stm.Tx) {
+		structures["list"] = NewList(tx, rt, "reuse.list")
+		structures["skiplist"] = NewSkipList(tx, rt, "reuse.skip", 9)
+		structures["rbtree"] = NewRBTree(tx, rt, "reuse.tree")
+		structures["hashset"] = NewHashSet(tx, rt, "reuse.hash", 32)
+	})
+	for name, s := range structures {
+		t.Run(name, func(t *testing.T) {
+			// Prime: one full population to reach the steady footprint.
+			for k := uint64(0); k < 64; k++ {
+				th.Atomic(func(tx *stm.Tx) { s.Insert(tx, k, k) })
+			}
+			for k := uint64(0); k < 64; k++ {
+				th.Atomic(func(tx *stm.Tx) { s.Remove(tx, k) })
+			}
+			base := rt.HeapInUseBlocks()
+			// Churn: 50 more populate/drain cycles must not grow the heap by
+			// more than a couple of blocks (allocator slack), far below the
+			// ~50x growth leaking nodes would cause.
+			for cycle := 0; cycle < 50; cycle++ {
+				for k := uint64(0); k < 64; k++ {
+					th.Atomic(func(tx *stm.Tx) { s.Insert(tx, k, k) })
+				}
+				for k := uint64(0); k < 64; k++ {
+					th.Atomic(func(tx *stm.Tx) { s.Remove(tx, k) })
+				}
+			}
+			grown := rt.HeapInUseBlocks() - base
+			if grown > 4 {
+				t.Fatalf("heap grew %d blocks over churn; nodes are leaking", grown)
+			}
+		})
+	}
+}
+
+// TestQueueDequeStackRecycling does the same bounded-footprint check for
+// the container structures.
+func TestQueueDequeStackRecycling(t *testing.T) {
+	rt, err := stm.New(stm.Config{HeapWords: 1 << 16, BlockShift: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var q *Queue
+	var d *Deque
+	var s *Stack
+	var p *PriorityQueue
+	th.Atomic(func(tx *stm.Tx) {
+		q = NewQueue(tx, rt, "reuse.q")
+		d = NewDeque(tx, rt, "reuse.d")
+		s = NewStack(tx, rt, "reuse.s")
+		p = NewPriorityQueue(tx, rt, "reuse.p", 3)
+	})
+	churn := func(fill, drain func(i uint64)) {
+		for c := 0; c < 30; c++ {
+			for i := uint64(0); i < 32; i++ {
+				fill(i)
+			}
+			for i := uint64(0); i < 32; i++ {
+				drain(i)
+			}
+		}
+	}
+	churn(func(i uint64) { th.Atomic(func(tx *stm.Tx) { q.Enqueue(tx, i) }) },
+		func(i uint64) { th.Atomic(func(tx *stm.Tx) { q.Dequeue(tx) }) })
+	base := rt.HeapInUseBlocks()
+	churn(func(i uint64) { th.Atomic(func(tx *stm.Tx) { q.Enqueue(tx, i) }) },
+		func(i uint64) { th.Atomic(func(tx *stm.Tx) { q.Dequeue(tx) }) })
+	churn(func(i uint64) { th.Atomic(func(tx *stm.Tx) { d.PushFront(tx, i) }) },
+		func(i uint64) { th.Atomic(func(tx *stm.Tx) { d.PopBack(tx) }) })
+	churn(func(i uint64) { th.Atomic(func(tx *stm.Tx) { s.Push(tx, i) }) },
+		func(i uint64) { th.Atomic(func(tx *stm.Tx) { s.Pop(tx) }) })
+	churn(func(i uint64) { th.Atomic(func(tx *stm.Tx) { p.Insert(tx, i%7, i) }) },
+		func(i uint64) { th.Atomic(func(tx *stm.Tx) { p.PopMin(tx) }) })
+	if grown := rt.HeapInUseBlocks() - base; grown > 6 {
+		t.Fatalf("containers grew %d blocks over churn; nodes are leaking", grown)
+	}
+}
+
+// TestRBTreeInvariantsUnderConcurrentChurn checks the red/black structure
+// invariants (BST order, red-red, black height) hold after heavy
+// concurrent mixed operations.
+func TestRBTreeInvariantsUnderConcurrentChurn(t *testing.T) {
+	rt := newRT(t)
+	setup := rt.MustAttach()
+	var tree *RBTree
+	setup.Atomic(func(tx *stm.Tx) { tree = NewRBTree(tx, rt, "churn.tree") })
+	rt.Detach(setup)
+	const workers, perW, keyRange = 6, 1200, 512
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perW; i++ {
+				k := uint64(rng.Intn(keyRange))
+				switch rng.Intn(3) {
+				case 0:
+					th.Atomic(func(tx *stm.Tx) { tree.Insert(tx, k, k) })
+				case 1:
+					th.Atomic(func(tx *stm.Tx) { tree.Remove(tx, k) })
+				default:
+					th.ReadOnlyAtomic(func(tx *stm.Tx) { tree.Contains(tx, k) })
+				}
+			}
+		}(int64(w) + 41)
+	}
+	wg.Wait()
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	th.ReadOnlyAtomic(func(tx *stm.Tx) {
+		if msg := tree.CheckInvariants(tx); msg != "" {
+			t.Fatal(msg)
+		}
+		keys := tree.Keys(tx)
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("Keys not strictly ascending at %d: %d >= %d", i, keys[i-1], keys[i])
+			}
+		}
+	})
+}
+
+// TestKeysSortedEverywhere checks every ordered structure reports keys in
+// ascending order after random upserts.
+func TestKeysSortedEverywhere(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var list *List
+	var skip *SkipList
+	var tree *RBTree
+	th.Atomic(func(tx *stm.Tx) {
+		list = NewList(tx, rt, "sort.list")
+		skip = NewSkipList(tx, rt, "sort.skip", 77)
+		tree = NewRBTree(tx, rt, "sort.tree")
+	})
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 400; i++ {
+		k := rng.Uint64() % 10000
+		th.Atomic(func(tx *stm.Tx) {
+			list.Insert(tx, k, uint64(i))
+			skip.Insert(tx, k, uint64(i))
+			tree.Insert(tx, k, uint64(i))
+		})
+	}
+	th.ReadOnlyAtomic(func(tx *stm.Tx) {
+		for name, keys := range map[string][]uint64{
+			"list": list.Keys(tx), "skiplist": skip.Keys(tx), "rbtree": tree.Keys(tx),
+		} {
+			for i := 1; i < len(keys); i++ {
+				if keys[i-1] >= keys[i] {
+					t.Fatalf("%s keys out of order at %d", name, i)
+				}
+			}
+		}
+		if a, b, c := list.Len(tx), skip.Len(tx), tree.Len(tx); a != b || b != c {
+			t.Fatalf("structure sizes diverge: list=%d skip=%d tree=%d", a, b, c)
+		}
+	})
+}

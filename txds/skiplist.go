@@ -1,0 +1,163 @@
+package txds
+
+import (
+	"sync/atomic"
+
+	"repro/stm"
+)
+
+// SkipListMaxLevel bounds skip-list towers.
+const SkipListMaxLevel = 12
+
+// SkipList is a sorted map with probabilistic O(log n) search; compared
+// to List it has short read paths, which shifts its sweet spot toward
+// invisible reads even at moderate update ratios.
+type SkipList struct {
+	head     stm.Addr // head tower: [0]=level, [1..1+MaxLevel) next pointers
+	nodeSite stm.SiteID
+	seed     atomic.Uint64
+}
+
+// Skip-list node layout: [0]=key, [1]=val, [2]=level, [3..3+level) nexts.
+const (
+	slLevel     = 2
+	slNextBase  = 3
+	slHeadBase  = 1 // head tower nexts start at head+1
+	slHeadWords = 1 + SkipListMaxLevel
+)
+
+// NewSkipList creates an empty skip list with sites "<name>.head" and
+// "<name>.node".
+func NewSkipList(tx *stm.Tx, rt *stm.Runtime, name string, seed uint64) *SkipList {
+	headSite := rt.RegisterSite(name + ".head")
+	nodeSite := rt.RegisterSite(name + ".node")
+	head := tx.Alloc(headSite, slHeadWords)
+	tx.Store(head, SkipListMaxLevel)
+	for i := 0; i < SkipListMaxLevel; i++ {
+		tx.Store(head+slHeadBase+stm.Addr(i), uint64(stm.Nil))
+	}
+	s := &SkipList{head: head, nodeSite: nodeSite}
+	s.seed.Store(seed*2654435761 + 0x9E3779B97F4A7C15)
+	return s
+}
+
+// randLevel draws a tower height with P(level ≥ k) = 2^-(k-1). The PRNG
+// state is engine-side (not transactional), so retries may draw different
+// levels — harmless, the distribution is what matters.
+func (s *SkipList) randLevel() int {
+	z := s.seed.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	lvl := 1
+	for z&1 == 1 && lvl < SkipListMaxLevel {
+		lvl++
+		z >>= 1
+	}
+	return lvl
+}
+
+// nextCell returns the address of node's level-i forward pointer; node
+// may be the head tower.
+func (s *SkipList) nextCell(node stm.Addr, i int) stm.Addr {
+	if node == s.head {
+		return s.head + slHeadBase + stm.Addr(i)
+	}
+	return node + slNextBase + stm.Addr(i)
+}
+
+// findPreds fills preds[0..MaxLevel) with the rightmost node at each
+// level whose key < k, and returns the level-0 successor.
+func (s *SkipList) findPreds(tx *stm.Tx, k uint64, preds *[SkipListMaxLevel]stm.Addr) stm.Addr {
+	x := s.head
+	for i := SkipListMaxLevel - 1; i >= 0; i-- {
+		for {
+			nxt := tx.LoadAddr(s.nextCell(x, i))
+			if nxt == stm.Nil || tx.Load(nxt+offKey) >= k {
+				break
+			}
+			x = nxt
+		}
+		preds[i] = x
+	}
+	return tx.LoadAddr(s.nextCell(x, 0))
+}
+
+// Lookup returns the value stored under k.
+func (s *SkipList) Lookup(tx *stm.Tx, k uint64) (uint64, bool) {
+	x := s.head
+	for i := SkipListMaxLevel - 1; i >= 0; i-- {
+		for {
+			nxt := tx.LoadAddr(s.nextCell(x, i))
+			if nxt == stm.Nil || tx.Load(nxt+offKey) > k {
+				break
+			}
+			if tx.Load(nxt+offKey) == k {
+				return tx.Load(nxt + offVal), true
+			}
+			x = nxt
+		}
+	}
+	return 0, false
+}
+
+// Contains reports set membership.
+func (s *SkipList) Contains(tx *stm.Tx, k uint64) bool {
+	_, ok := s.Lookup(tx, k)
+	return ok
+}
+
+// Insert adds k→v if absent; reports whether it inserted.
+func (s *SkipList) Insert(tx *stm.Tx, k, v uint64) bool {
+	var preds [SkipListMaxLevel]stm.Addr
+	succ := s.findPreds(tx, k, &preds)
+	if succ != stm.Nil && tx.Load(succ+offKey) == k {
+		return false
+	}
+	lvl := s.randLevel()
+	n := tx.Alloc(s.nodeSite, slNextBase+lvl)
+	tx.Store(n+offKey, k)
+	tx.Store(n+offVal, v)
+	tx.Store(n+slLevel, uint64(lvl))
+	for i := 0; i < lvl; i++ {
+		tx.StoreAddr(n+slNextBase+stm.Addr(i), tx.LoadAddr(s.nextCell(preds[i], i)))
+		tx.StoreAddr(s.nextCell(preds[i], i), n)
+	}
+	return true
+}
+
+// Remove deletes k, returning its value.
+func (s *SkipList) Remove(tx *stm.Tx, k uint64) (uint64, bool) {
+	var preds [SkipListMaxLevel]stm.Addr
+	succ := s.findPreds(tx, k, &preds)
+	if succ == stm.Nil || tx.Load(succ+offKey) != k {
+		return 0, false
+	}
+	v := tx.Load(succ + offVal)
+	lvl := int(tx.Load(succ + slLevel))
+	for i := 0; i < lvl; i++ {
+		if tx.LoadAddr(s.nextCell(preds[i], i)) == succ {
+			tx.StoreAddr(s.nextCell(preds[i], i), tx.LoadAddr(succ+slNextBase+stm.Addr(i)))
+		}
+	}
+	tx.Free(succ, slNextBase+lvl)
+	return v, true
+}
+
+// Len counts elements via the level-0 chain.
+func (s *SkipList) Len(tx *stm.Tx) int {
+	n := 0
+	for x := tx.LoadAddr(s.nextCell(s.head, 0)); x != stm.Nil; x = tx.LoadAddr(x + slNextBase) {
+		n++
+	}
+	return n
+}
+
+// Keys returns all keys ascending.
+func (s *SkipList) Keys(tx *stm.Tx) []uint64 {
+	var out []uint64
+	for x := tx.LoadAddr(s.nextCell(s.head, 0)); x != stm.Nil; x = tx.LoadAddr(x + slNextBase) {
+		out = append(out, tx.Load(x+offKey))
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package txds
+
+import "repro/stm"
+
+// Stack is a LIFO stack over a singly-linked chain. All operations fight
+// over the single top-of-stack word, giving the highest possible conflict
+// density per structure — every pair of concurrent operations conflicts.
+type Stack struct {
+	top      stm.Addr // one word: pointer to the top node
+	nodeSite stm.SiteID
+}
+
+const (
+	stVal       = 0
+	stNext      = 1
+	stNodeWords = 2
+)
+
+// NewStack creates an empty stack with sites "<name>.top" and
+// "<name>.node".
+func NewStack(tx *stm.Tx, rt *stm.Runtime, name string) *Stack {
+	tSite := rt.RegisterSite(name + ".top")
+	nSite := rt.RegisterSite(name + ".node")
+	top := tx.Alloc(tSite, 1)
+	tx.StoreAddr(top, stm.Nil)
+	return &Stack{top: top, nodeSite: nSite}
+}
+
+// Push adds v on top.
+func (s *Stack) Push(tx *stm.Tx, v uint64) {
+	n := tx.Alloc(s.nodeSite, stNodeWords)
+	tx.Store(n+stVal, v)
+	tx.StoreAddr(n+stNext, tx.LoadAddr(s.top))
+	tx.StoreAddr(s.top, n)
+}
+
+// Pop removes and returns the top element.
+func (s *Stack) Pop(tx *stm.Tx) (uint64, bool) {
+	n := tx.LoadAddr(s.top)
+	if n == stm.Nil {
+		return 0, false
+	}
+	v := tx.Load(n + stVal)
+	tx.StoreAddr(s.top, tx.LoadAddr(n+stNext))
+	tx.Free(n, stNodeWords)
+	return v, true
+}
+
+// Peek returns the top element without removing it.
+func (s *Stack) Peek(tx *stm.Tx) (uint64, bool) {
+	n := tx.LoadAddr(s.top)
+	if n == stm.Nil {
+		return 0, false
+	}
+	return tx.Load(n + stVal), true
+}
+
+// Len counts stacked elements.
+func (s *Stack) Len(tx *stm.Tx) int {
+	n := 0
+	for x := tx.LoadAddr(s.top); x != stm.Nil; x = tx.LoadAddr(x + stNext) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,26 @@
+// Package txds provides transactional data structures built on the stm
+// heap: a sorted linked list, a skip list, a red-black tree, a hash set,
+// a FIFO queue, a double-ended queue, a LIFO stack, a min-priority queue
+// and a counter array.
+//
+// These are the workloads of the paper's evaluation: the integer-set
+// microbenchmarks (list, skip list, red-black tree, hash set) and the
+// building blocks of the application benchmarks (vacation's reservation
+// tables are red-black trees; bank uses a counter array).
+//
+// Every structure allocates its nodes at named allocation sites
+// ("<name>.node", "<name>.head", ...) and links them with Tx.StoreAddr,
+// so a profiling run discovers each structure as one connected component
+// and the partitioner places it in its own partition.
+//
+// All operations take the Tx of an enclosing atomic block; structures are
+// safe for concurrent use through transactions. Keys and values are
+// uint64; key 0 is valid.
+package txds
+
+// Structure field offsets shared by this package's node layouts.
+const (
+	offKey  = 0
+	offVal  = 1
+	offNext = 2
+)

@@ -1,0 +1,538 @@
+package txds
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/stm"
+)
+
+func newRT(t testing.TB) *stm.Runtime {
+	t.Helper()
+	rt, err := stm.New(stm.Config{HeapWords: 1 << 21, BlockShift: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// setAPI abstracts the common map interface so one model test covers all
+// four intset structures.
+type setAPI interface {
+	Lookup(tx *stm.Tx, k uint64) (uint64, bool)
+	Contains(tx *stm.Tx, k uint64) bool
+	Insert(tx *stm.Tx, k, v uint64) bool
+	Remove(tx *stm.Tx, k uint64) (uint64, bool)
+	Len(tx *stm.Tx) int
+}
+
+type upserter interface {
+	Set(tx *stm.Tx, k, v uint64) bool
+}
+
+func makeSets(tx *stm.Tx, rt *stm.Runtime, prefix string) map[string]setAPI {
+	return map[string]setAPI{
+		"list":     NewList(tx, rt, prefix+".list"),
+		"skiplist": NewSkipList(tx, rt, prefix+".skip", 42),
+		"rbtree":   NewRBTree(tx, rt, prefix+".tree"),
+		"hashset":  NewHashSet(tx, rt, prefix+".hash", 64),
+	}
+}
+
+// TestSetsAgainstModel runs a long random operation sequence against a
+// map[uint64]uint64 model and checks every result.
+func TestSetsAgainstModel(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var sets map[string]setAPI
+	th.Atomic(func(tx *stm.Tx) { sets = makeSets(tx, rt, "model") })
+
+	for name, s := range sets {
+		t.Run(name, func(t *testing.T) {
+			model := make(map[uint64]uint64)
+			rng := rand.New(rand.NewSource(7))
+			const keyRange = 200
+			for i := 0; i < 8000; i++ {
+				k := uint64(rng.Intn(keyRange))
+				v := rng.Uint64()
+				switch rng.Intn(4) {
+				case 0: // insert
+					var got bool
+					th.Atomic(func(tx *stm.Tx) { got = s.Insert(tx, k, v) })
+					_, existed := model[k]
+					if got == existed {
+						t.Fatalf("op %d: Insert(%d) = %v, model existed=%v", i, k, got, existed)
+					}
+					if !existed {
+						model[k] = v
+					}
+				case 1: // remove
+					var got uint64
+					var ok bool
+					th.Atomic(func(tx *stm.Tx) { got, ok = s.Remove(tx, k) })
+					want, existed := model[k]
+					if ok != existed || (ok && got != want) {
+						t.Fatalf("op %d: Remove(%d) = (%d,%v), model (%d,%v)", i, k, got, ok, want, existed)
+					}
+					delete(model, k)
+				case 2: // lookup
+					var got uint64
+					var ok bool
+					th.Atomic(func(tx *stm.Tx) { got, ok = s.Lookup(tx, k) })
+					want, existed := model[k]
+					if ok != existed || (ok && got != want) {
+						t.Fatalf("op %d: Lookup(%d) = (%d,%v), model (%d,%v)", i, k, got, ok, want, existed)
+					}
+				case 3: // contains
+					var got bool
+					th.Atomic(func(tx *stm.Tx) { got = s.Contains(tx, k) })
+					if _, existed := model[k]; got != existed {
+						t.Fatalf("op %d: Contains(%d) = %v, model %v", i, k, got, existed)
+					}
+				}
+			}
+			var n int
+			th.Atomic(func(tx *stm.Tx) { n = s.Len(tx) })
+			if n != len(model) {
+				t.Fatalf("Len = %d, model %d", n, len(model))
+			}
+		})
+	}
+}
+
+// TestSortedKeys checks the ordered structures return ascending keys.
+func TestSortedKeys(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var l *List
+	var sl *SkipList
+	var rb *RBTree
+	th.Atomic(func(tx *stm.Tx) {
+		l = NewList(tx, rt, "sk.list")
+		sl = NewSkipList(tx, rt, "sk.skip", 9)
+		rb = NewRBTree(tx, rt, "sk.tree")
+	})
+	keys := []uint64{42, 7, 0, 99, 13, 55, 1, 100, 64}
+	for _, k := range keys {
+		th.Atomic(func(tx *stm.Tx) {
+			l.Insert(tx, k, k*10)
+			sl.Insert(tx, k, k*10)
+			rb.Insert(tx, k, k*10)
+		})
+	}
+	want := append([]uint64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	check := func(name string, got []uint64) {
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d keys, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: keys %v, want %v", name, got, want)
+			}
+		}
+	}
+	th.Atomic(func(tx *stm.Tx) {
+		check("list", l.Keys(tx))
+		check("skiplist", sl.Keys(tx))
+		check("rbtree", rb.Keys(tx))
+	})
+}
+
+func TestUpsert(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var sets map[string]setAPI
+	th.Atomic(func(tx *stm.Tx) { sets = makeSets(tx, rt, "ups") })
+	for name, s := range sets {
+		up, ok := s.(upserter)
+		if !ok {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			th.Atomic(func(tx *stm.Tx) {
+				if !up.Set(tx, 5, 50) {
+					t.Error("Set of fresh key reported update")
+				}
+				if up.Set(tx, 5, 60) {
+					t.Error("Set of existing key reported insert")
+				}
+				if v, ok := s.Lookup(tx, 5); !ok || v != 60 {
+					t.Errorf("Lookup = (%d,%v)", v, ok)
+				}
+			})
+		})
+	}
+}
+
+// TestRBTreeInvariants hammers the tree with skewed insert/delete and
+// validates the red-black properties after every batch.
+func TestRBTreeInvariants(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var rb *RBTree
+	th.Atomic(func(tx *stm.Tx) { rb = NewRBTree(tx, rt, "inv.tree") })
+	rng := rand.New(rand.NewSource(3))
+	live := make(map[uint64]bool)
+	for batch := 0; batch < 60; batch++ {
+		th.Atomic(func(tx *stm.Tx) {
+			for i := 0; i < 40; i++ {
+				k := uint64(rng.Intn(300))
+				if rng.Intn(2) == 0 {
+					if rb.Insert(tx, k, k) {
+						live[k] = true
+					}
+				} else {
+					if _, ok := rb.Remove(tx, k); ok {
+						delete(live, k)
+					}
+				}
+			}
+		})
+		th.Atomic(func(tx *stm.Tx) {
+			if msg := rb.CheckInvariants(tx); msg != "" {
+				t.Fatalf("batch %d: %s", batch, msg)
+			}
+			if n := rb.Len(tx); n != len(live) {
+				t.Fatalf("batch %d: Len=%d live=%d", batch, n, len(live))
+			}
+		})
+	}
+	// Note: the live map above is mutated inside transactions; single
+	// attempts never retry here (no concurrency), so it stays in sync.
+}
+
+func TestRBTreeMin(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var rb *RBTree
+	th.Atomic(func(tx *stm.Tx) { rb = NewRBTree(tx, rt, "min.tree") })
+	th.Atomic(func(tx *stm.Tx) {
+		if _, ok := rb.Min(tx); ok {
+			t.Error("Min on empty tree")
+		}
+		rb.Insert(tx, 9, 0)
+		rb.Insert(tx, 3, 0)
+		rb.Insert(tx, 7, 0)
+		if k, ok := rb.Min(tx); !ok || k != 3 {
+			t.Errorf("Min = (%d,%v)", k, ok)
+		}
+		rb.Remove(tx, 3)
+		if k, _ := rb.Min(tx); k != 7 {
+			t.Errorf("Min after remove = %d", k)
+		}
+	})
+}
+
+// TestConcurrentSetMembership checks that concurrent disjoint inserts all
+// land, for every structure, under simulated interleaving.
+func TestConcurrentSetMembership(t *testing.T) {
+	rt, err := stm.New(stm.Config{HeapWords: 1 << 21, BlockShift: 10, YieldEveryOps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := rt.MustAttach()
+	var sets map[string]setAPI
+	setup.Atomic(func(tx *stm.Tx) { sets = makeSets(tx, rt, "conc") })
+	rt.Detach(setup)
+
+	for name, s := range sets {
+		t.Run(name, func(t *testing.T) {
+			const workers, perW = 4, 400
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(base uint64) {
+					defer wg.Done()
+					th := rt.MustAttach()
+					defer rt.Detach(th)
+					for i := uint64(0); i < perW; i++ {
+						k := base*perW + i
+						th.Atomic(func(tx *stm.Tx) { s.Insert(tx, k, k) })
+					}
+				}(uint64(w))
+			}
+			wg.Wait()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			var n int
+			th.Atomic(func(tx *stm.Tx) { n = s.Len(tx) })
+			if n != workers*perW {
+				t.Fatalf("Len = %d, want %d", n, workers*perW)
+			}
+			th.Atomic(func(tx *stm.Tx) {
+				for w := 0; w < workers; w++ {
+					for i := uint64(0); i < perW; i += 37 {
+						k := uint64(w)*perW + i
+						if !s.Contains(tx, k) {
+							t.Fatalf("missing key %d", k)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestConcurrentRBTreeShape runs mixed concurrent updates and validates
+// tree shape afterwards.
+func TestConcurrentRBTreeShape(t *testing.T) {
+	rt, err := stm.New(stm.Config{HeapWords: 1 << 21, BlockShift: 10, YieldEveryOps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := rt.MustAttach()
+	var rb *RBTree
+	setup.Atomic(func(tx *stm.Tx) { rb = NewRBTree(tx, rt, "cshape") })
+	rt.Detach(setup)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1200; i++ {
+				k := uint64(rng.Intn(500))
+				if rng.Intn(100) < 50 {
+					th.Atomic(func(tx *stm.Tx) { rb.Insert(tx, k, k) })
+				} else {
+					th.Atomic(func(tx *stm.Tx) { rb.Remove(tx, k) })
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	th.Atomic(func(tx *stm.Tx) {
+		if msg := rb.CheckInvariants(tx); msg != "" {
+			t.Fatal(msg)
+		}
+	})
+}
+
+func TestQueueFIFO(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var q *Queue
+	th.Atomic(func(tx *stm.Tx) { q = NewQueue(tx, rt, "fifo") })
+	th.Atomic(func(tx *stm.Tx) {
+		if _, ok := q.Dequeue(tx); ok {
+			t.Error("dequeue from empty queue")
+		}
+		if _, ok := q.Peek(tx); ok {
+			t.Error("peek on empty queue")
+		}
+	})
+	for i := uint64(1); i <= 5; i++ {
+		th.Atomic(func(tx *stm.Tx) { q.Enqueue(tx, i) })
+	}
+	th.Atomic(func(tx *stm.Tx) {
+		if n := q.Len(tx); n != 5 {
+			t.Errorf("Len = %d", n)
+		}
+		if v, _ := q.Peek(tx); v != 1 {
+			t.Errorf("Peek = %d", v)
+		}
+	})
+	for i := uint64(1); i <= 5; i++ {
+		th.Atomic(func(tx *stm.Tx) {
+			v, ok := q.Dequeue(tx)
+			if !ok || v != i {
+				t.Errorf("Dequeue = (%d,%v), want %d", v, ok, i)
+			}
+		})
+	}
+	// Empty again; enqueue after drain must relink head.
+	th.Atomic(func(tx *stm.Tx) {
+		q.Enqueue(tx, 42)
+		if v, ok := q.Dequeue(tx); !ok || v != 42 {
+			t.Errorf("after drain: (%d,%v)", v, ok)
+		}
+	})
+}
+
+// TestQueueConcurrentTransfer pushes tokens through two queues and checks
+// none are lost or duplicated.
+func TestQueueConcurrentTransfer(t *testing.T) {
+	rt, err := stm.New(stm.Config{HeapWords: 1 << 21, BlockShift: 10, YieldEveryOps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := rt.MustAttach()
+	var q1, q2 *Queue
+	const tokens = 500
+	setup.Atomic(func(tx *stm.Tx) {
+		q1 = NewQueue(tx, rt, "xfer.q1")
+		q2 = NewQueue(tx, rt, "xfer.q2")
+	})
+	for i := uint64(0); i < tokens; i++ {
+		setup.Atomic(func(tx *stm.Tx) { q1.Enqueue(tx, i) })
+	}
+	rt.Detach(setup)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			for {
+				moved := false
+				th.Atomic(func(tx *stm.Tx) {
+					if v, ok := q1.Dequeue(tx); ok {
+						q2.Enqueue(tx, v)
+						moved = true
+					}
+				})
+				if !moved {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	th.Atomic(func(tx *stm.Tx) {
+		if n := q1.Len(tx); n != 0 {
+			t.Errorf("q1 still has %d", n)
+		}
+		if n := q2.Len(tx); n != tokens {
+			t.Errorf("q2 has %d, want %d", n, tokens)
+		}
+	})
+	// All tokens distinct.
+	seen := make(map[uint64]bool)
+	for i := 0; i < tokens; i++ {
+		th.Atomic(func(tx *stm.Tx) {
+			v, ok := q2.Dequeue(tx)
+			if !ok {
+				t.Fatal("queue drained early")
+			}
+			if seen[v] {
+				t.Fatalf("duplicate token %d", v)
+			}
+			seen[v] = true
+		})
+	}
+}
+
+func TestCounterArray(t *testing.T) {
+	rt := newRT(t)
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var c *CounterArray
+	th.Atomic(func(tx *stm.Tx) { c = NewCounterArray(tx, rt, "cnt", 16, 100) })
+	if c.N() != 16 {
+		t.Fatalf("N = %d", c.N())
+	}
+	th.Atomic(func(tx *stm.Tx) {
+		if s := c.Sum(tx); s != 1600 {
+			t.Errorf("Sum = %d", s)
+		}
+		c.Add(tx, 3, 5)
+		if v := c.Get(tx, 3); v != 105 {
+			t.Errorf("Get = %d", v)
+		}
+		if !c.Transfer(tx, 3, 4, 50) {
+			t.Error("transfer refused")
+		}
+		if c.Transfer(tx, 5, 6, 1000) {
+			t.Error("overdraft allowed")
+		}
+		c.Set(tx, 0, 7)
+		if v := c.Get(tx, 0); v != 7 {
+			t.Errorf("Set/Get = %d", v)
+		}
+		if s := c.Sum(tx); s != 1600+5-100+7 {
+			t.Errorf("final Sum = %d", s)
+		}
+	})
+}
+
+// TestCounterConservation checks the bank invariant under concurrency.
+func TestCounterConservation(t *testing.T) {
+	rt, err := stm.New(stm.Config{HeapWords: 1 << 21, BlockShift: 10, YieldEveryOps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := rt.MustAttach()
+	var c *CounterArray
+	const n, initBal = 32, 1000
+	setup.Atomic(func(tx *stm.Tx) { c = NewCounterArray(tx, rt, "bankc", n, initBal) })
+	rt.Detach(setup)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				from, to := rng.Intn(n), rng.Intn(n)
+				th.Atomic(func(tx *stm.Tx) { c.Transfer(tx, from, to, uint64(rng.Intn(20))) })
+			}
+		}(int64(w) * 13)
+	}
+	wg.Wait()
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	th.Atomic(func(tx *stm.Tx) {
+		if s := c.Sum(tx); s != n*initBal {
+			t.Fatalf("Sum = %d, want %d", s, n*initBal)
+		}
+	})
+}
+
+// TestStructuresFormDistinctPartitions profiles one transaction touching
+// all structures and confirms the analyzer separates them.
+func TestStructuresFormDistinctPartitions(t *testing.T) {
+	rt := newRT(t)
+	rt.StartProfiling()
+	th := rt.MustAttach()
+	var l *List
+	var sl *SkipList
+	var rb *RBTree
+	var hs *HashSet
+	th.Atomic(func(tx *stm.Tx) {
+		l = NewList(tx, rt, "pp.list")
+		sl = NewSkipList(tx, rt, "pp.skip", 1)
+		rb = NewRBTree(tx, rt, "pp.tree")
+		hs = NewHashSet(tx, rt, "pp.hash", 16)
+	})
+	for i := uint64(0); i < 30; i++ {
+		th.Atomic(func(tx *stm.Tx) {
+			l.Insert(tx, i, i)
+			sl.Insert(tx, i, i)
+			rb.Insert(tx, i, i)
+			hs.Insert(tx, i, i)
+		})
+	}
+	plan, err := rt.StopProfilingAndPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// global + 4 structures (each with 2 sites).
+	if got := plan.NumPartitions(); got != 5 {
+		t.Fatalf("NumPartitions = %d, want 5\n%s", got, plan.Describe(rt.Sites()))
+	}
+	// Structures keep working after partitioning, in their own partitions.
+	th.Atomic(func(tx *stm.Tx) {
+		if !l.Contains(tx, 7) || !sl.Contains(tx, 7) || !rb.Contains(tx, 7) || !hs.Contains(tx, 7) {
+			t.Error("data lost across partitioning")
+		}
+	})
+	rt.Detach(th)
+}
