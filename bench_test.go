@@ -67,6 +67,10 @@ func BenchmarkFig9(b *testing.B)   { runExperiment(b, "fig9") }
 func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10") }
 func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
 
+// BenchmarkClockScale compares the global commit counter against
+// partition-local commit counters on the partitioned workloads.
+func BenchmarkClockScale(b *testing.B) { runExperiment(b, "clockscale") }
+
 // --- primitive-cost micro-benchmarks ---
 
 // BenchmarkUncontendedIncrement measures the base cost of a minimal
@@ -84,6 +88,35 @@ func BenchmarkUncontendedIncrement(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			cfg := mode.cfg
 			rt := stm.MustNew(stm.Config{HeapWords: 1 << 16, Default: &cfg})
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			var a stm.Addr
+			th.Atomic(func(tx *stm.Tx) {
+				a = tx.Alloc(stm.SiteID(0), 1)
+				tx.Store(a, 0)
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th.Atomic(func(tx *stm.Tx) { tx.Store(a, tx.Load(a)+1) })
+			}
+		})
+	}
+}
+
+// BenchmarkTimeBaseIncrement measures the commit-path cost of the two
+// time bases on the minimal update transaction (single thread, single
+// partition): the partition-local bookkeeping must not tax the
+// uncontended fast path.
+func BenchmarkTimeBaseIncrement(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		tb   stm.TimeBaseMode
+	}{
+		{"global", stm.TimeBaseGlobal},
+		{"plocal", stm.TimeBasePartitionLocal},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			rt := stm.MustNew(stm.Config{HeapWords: 1 << 16, TimeBase: m.tb})
 			th := rt.MustAttach()
 			defer rt.Detach(th)
 			var a stm.Addr

@@ -2,6 +2,7 @@ package apps
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/workload"
 	"repro/stm"
@@ -21,11 +22,12 @@ import (
 type Labyrinth struct {
 	grid *txds.CounterArray
 	w, h int
-	// nextID hands out path ids; it intentionally lives OUTSIDE the
+	// pathID hands out path ids; it intentionally lives OUTSIDE the
 	// transactional heap (ids may be burned by aborted attempts, which is
 	// fine — they only need uniqueness, and keeping the counter out of
-	// the heap keeps it from serializing all routing transactions).
-	nextID func() uint64
+	// the heap keeps it from serializing all routing transactions). It is
+	// atomic because every routing worker draws from it.
+	pathID atomic.Uint64
 }
 
 // LabyrinthConfig sizes the grid.
@@ -44,8 +46,6 @@ func NewLabyrinth(rt *stm.Runtime, th *stm.Thread, cfg LabyrinthConfig) *Labyrin
 		cfg = DefaultLabyrinthConfig()
 	}
 	l := &Labyrinth{w: cfg.Width, h: cfg.Height}
-	var id uint64
-	l.nextID = func() uint64 { id++; return id }
 	th.Atomic(func(tx *stm.Tx) {
 		l.grid = txds.NewCounterArray(tx, rt, "labyrinth.grid", cfg.Width*cfg.Height, 0)
 	})
@@ -59,7 +59,7 @@ func (l *Labyrinth) cell(x, y int) int { return y*l.w + x }
 // is occupied. The BFS reads grid cells transactionally, so the claimed
 // path is consistent with every concurrent routing transaction.
 func (l *Labyrinth) Route(th *stm.Thread, x1, y1, x2, y2 int) int {
-	pathID := l.nextID()<<8 | 1 // nonzero marker
+	pathID := l.pathID.Add(1)<<8 | 1 // nonzero marker
 	var length int
 	th.Atomic(func(tx *stm.Tx) {
 		length = 0

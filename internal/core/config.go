@@ -11,11 +11,35 @@
 // (encounter-time vs. commit-time), write strategy (write-back buffering
 // vs. write-through with an undo log), conflict-detection granularity
 // (lock-array size and words-per-lock), and contention-management policy.
-// A single global time base keeps transactions that span several
-// partitions on one serializable timeline.
+//
+// Commit time itself is a pluggable policy (internal/clock): the default
+// global counter keeps all partitions on one shared timeline, while the
+// partition-local time base gives every partition its own commit counter
+// and keeps cross-partition transactions serializable through snapshot
+// alignment and commit-time validation. See TimeBaseMode.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// TimeBaseMode selects the engine's commit time base (see internal/clock
+// for the implementations and their protocol contracts).
+type TimeBaseMode = clock.Mode
+
+const (
+	// TimeBaseGlobal is the single shared commit counter — the default,
+	// with exact TL2/TinySTM semantics. Every update commit performs one
+	// shared read-modify-write.
+	TimeBaseGlobal = clock.ModeGlobal
+	// TimeBasePartitionLocal gives each partition its own commit counter
+	// plus a global cross-partition epoch. Update commits confined to one
+	// partition never touch shared clock state; transactions spanning
+	// partitions pay snapshot alignment and commit-time validation.
+	TimeBasePartitionLocal = clock.ModePartitionLocal
+)
 
 // ReadMode selects how a partition's reads are performed.
 type ReadMode uint8

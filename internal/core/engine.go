@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/memory"
 )
 
@@ -34,14 +35,18 @@ func (t *topology) partForSite(site memory.SiteID) *Partition {
 	return t.parts[GlobalPartition]
 }
 
-// Engine is the STM runtime: global clock, partitions, attached threads,
-// and the quiescence gate used for reconfiguration.
+// Engine is the STM runtime: commit time base, partitions, attached
+// threads, and the quiescence gate used for reconfiguration.
 type Engine struct {
 	arena      *memory.Arena
 	blockShift uint
 	blockSite  []memory.SiteID // arena's block→site table (shared slice)
 
-	clock atomic.Uint64
+	// tb is the commit time base (internal/clock). It is replaced only
+	// under quiescence (mode migration), but monitor threads — the tuner,
+	// stats snapshots — read it concurrently with transactions, hence the
+	// atomic pointer (interfaces are two words and not directly atomic).
+	tb atomic.Pointer[tbBox]
 
 	// gate, when nonzero, blocks new transaction attempts; reconfigurers
 	// raise it and wait for all threads to go inactive.
@@ -83,8 +88,14 @@ type Engine struct {
 	yieldMask atomic.Uint64
 }
 
+// tbBox wraps the TimeBase interface so the engine can store it in an
+// atomic.Pointer.
+type tbBox struct{ tb clock.TimeBase }
+
 // NewEngine creates an engine over arena with a single global partition
-// configured by cfg.
+// configured by cfg and the default (global-counter) time base. The
+// counter start value — and the "fresh orec always readable" rule behind
+// it — is owned by internal/clock (clock.InitialStamp).
 func NewEngine(arena *memory.Arena, cfg PartConfig) *Engine {
 	e := &Engine{
 		arena:      arena,
@@ -93,19 +104,43 @@ func NewEngine(arena *memory.Arena, cfg PartConfig) *Engine {
 	}
 	global := newPartition(GlobalPartition, "global", cfg)
 	e.topo.Store(&topology{parts: []*Partition{global}})
-	e.clock.Store(1) // start at 1 so version 0 (fresh orecs) is always readable
+	e.tb.Store(&tbBox{tb: clock.New(clock.ModeGlobal, 1)})
 	return e
 }
 
 // Arena returns the transactional heap.
 func (e *Engine) Arena() *memory.Arena { return e.arena }
 
-// Clock returns the current global timestamp.
-func (e *Engine) Clock() uint64 { return e.clock.Load() }
+// timeBase returns the current commit time base.
+func (e *Engine) timeBase() clock.TimeBase { return e.tb.Load().tb }
 
-// AdvanceClock adds delta to the global clock; used by stress tests to
-// exercise large-timestamp behaviour.
-func (e *Engine) AdvanceClock(delta uint64) { e.clock.Add(delta) }
+// Clock returns the current time-base ceiling: the maximum commit-counter
+// reading, i.e. an upper bound on every version stored in any orec. With
+// the default global counter this is exactly the classic global timestamp.
+func (e *Engine) Clock() uint64 { return e.timeBase().Ceiling() }
+
+// TimeBaseMode reports which commit time base the engine runs.
+func (e *Engine) TimeBaseMode() TimeBaseMode { return e.timeBase().Mode() }
+
+// SetTimeBaseMode switches the commit time base under quiescence. The
+// successor starts every counter at the predecessor's ceiling, so versions
+// already stored in orecs stay at or below every future snapshot — commit
+// time never moves backwards across a migration.
+func (e *Engine) SetTimeBaseMode(m TimeBaseMode) {
+	e.quiesce(func() {
+		old := e.timeBase()
+		if old.Mode() == m {
+			return
+		}
+		nparts := len(e.topo.Load().parts)
+		e.tb.Store(&tbBox{tb: clock.NewAt(m, nparts, old.Ceiling())})
+	})
+}
+
+// AdvanceClock adds delta to every commit counter of the time base; used
+// by stress tests to exercise large-timestamp behaviour. Monotonicity is
+// the time base's responsibility.
+func (e *Engine) AdvanceClock(delta uint64) { e.timeBase().Advance(delta) }
 
 // SetYieldEveryOps enables interleaving simulation: each transactional
 // operation yields the processor with probability 1/n (n must be a power
@@ -261,6 +296,10 @@ func (e *Engine) InstallPlan(sitePart []PartID, names []string, cfgs []PartConfi
 
 	e.quiesce(func() {
 		e.topo.Store(&topology{sitePart: sp, parts: parts})
+		// Counters for new partitions start at the time base's current
+		// ceiling, keeping every partition's timeline monotone across the
+		// install.
+		e.timeBase().Resize(len(parts))
 		for i := range e.threads {
 			if th := e.threads[i].Load(); th != nil {
 				th.stats = make([]PartThreadStats, len(parts))
@@ -288,6 +327,7 @@ func (e *Engine) Reconfigure(id PartID, cfg PartConfig) error {
 			cfg:   cfg,
 			table: newOrecTable(cfg.LockBits, cfg.GranShift),
 			gen:   old.gen + 1,
+			part:  p,
 		})
 	})
 	return nil

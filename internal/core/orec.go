@@ -10,8 +10,9 @@ import (
 //
 // The lock word encodes, TinySTM-style:
 //
-//	unlocked: version<<1        (version = global-clock timestamp of the
-//	                             last commit that wrote a word mapping here)
+//	unlocked: version<<1        (version = commit timestamp, minted by the
+//	                             owning partition's time base, of the last
+//	                             commit that wrote a word mapping here)
 //	locked:   ownerSlot<<1 | 1  (ownerSlot = thread slot of the writer)
 //
 // The readers word is the visible-reader bitmap: bit i set means the

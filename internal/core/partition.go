@@ -20,6 +20,11 @@ type partState struct {
 	cfg   PartConfig
 	table *orecTable
 	gen   uint64 // configuration generation, bumped on every reconfigure
+	// part points back to the owning partition, so protocol code holding a
+	// state (write entries, lock records) can recover the partition id —
+	// which the partition-local time base keys its commit counters by —
+	// without re-running the address→partition lookup.
+	part *Partition
 }
 
 // Partition is one unit of independent concurrency control.
@@ -36,6 +41,7 @@ func newPartition(id PartID, name string, cfg PartConfig) *Partition {
 		cfg:   cfg,
 		table: newOrecTable(cfg.LockBits, cfg.GranShift),
 		gen:   0,
+		part:  p,
 	})
 	return p
 }

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/clock"
+)
 
 // PartThreadStats are one thread's counters for one partition. They are
 // incremented only by the owning thread (so the atomic adds stay on a
@@ -75,6 +79,16 @@ func (s *PartStats) UpdateRatio() float64 {
 	}
 	return float64(s.UpdateCommits) / float64(s.Commits)
 }
+
+// ClockStats returns a momentary reading of the commit time base:
+// per-partition counter values plus the shared-RMW figures the clockscale
+// experiment and the tuner's time-base heuristic consume. Fields are
+// monotone only within one time base: a SetTimeBaseMode switch installs
+// fresh counters (deltas straddling it are meaningless — the tuner guards
+// for this), and AdvanceClock inflates every figure by its delta. Deltas
+// between snapshots are exact when taken in the same mode with no
+// Advance in between.
+func (e *Engine) ClockStats() clock.Stats { return e.timeBase().Stats() }
 
 // Sub returns s - old, counter-wise; used by the tuner to derive per-epoch
 // deltas from monotonic totals.

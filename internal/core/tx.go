@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 
+	"repro/internal/clock"
 	"repro/internal/memory"
 )
 
@@ -32,6 +33,9 @@ type writeEntry struct {
 type lockRec struct {
 	o    *orec
 	prev uint64
+	// pid is the owning partition: the partition-local time base mints
+	// this lock's release version from that partition's commit counter.
+	pid PartID
 }
 
 type allocRec struct {
@@ -42,6 +46,12 @@ type allocRec struct {
 type touchRec struct {
 	p     *Partition
 	wrote bool
+	// snap is the transaction's snapshot of this partition's commit
+	// counter. Under the global time base every entry mirrors tx.snapshot
+	// (one shared timeline); under the partition-local time base each
+	// partition has its own, sampled at first touch and re-anchored
+	// together by extensions and footprint alignment.
+	snap uint64
 }
 
 // Tx is a transaction descriptor. One lives in each Thread and is reused
@@ -54,7 +64,19 @@ type Tx struct {
 	th   *Thread
 	topo *topology
 
-	snapshot   uint64
+	// tb and pl cache the engine's time base for the attempt (the time
+	// base only changes under quiescence, never while an attempt runs).
+	tb clock.TimeBase
+	pl bool // tb is partition-local
+
+	// snapshot is the global snapshot under the global time base. Under
+	// the partition-local time base per-partition snapshots live in
+	// touched[].snap and this field tracks the first-touched partition's
+	// (see Snapshot).
+	snapshot uint64
+	// beginEpoch is the cross-partition epoch sampled at begin and
+	// refreshed by every successful extension (partition-local mode only).
+	beginEpoch uint64
 	readOnly   bool
 	hasVisible bool
 	opCount    uint64
@@ -67,6 +89,13 @@ type Tx struct {
 	allocs  []allocRec
 	frees   []allocRec
 	touched []touchRec
+
+	// Commit/extension scratch, reused across attempts: the deduplicated
+	// written partitions, their assigned write versions, and extension's
+	// resampled snapshots.
+	commitParts []uint32
+	commitWV    []uint64
+	extSnaps    []uint64
 }
 
 func (tx *Tx) init(e *Engine, th *Thread) {
@@ -75,7 +104,10 @@ func (tx *Tx) init(e *Engine, th *Thread) {
 	tx.wsIndex = make(map[memory.Addr]int, 64)
 }
 
-// Snapshot returns the transaction's current snapshot timestamp.
+// Snapshot returns the transaction's current snapshot timestamp: the
+// global snapshot under the global time base, or the first-touched
+// partition's snapshot under the partition-local one (0 before any
+// access). In both modes it never moves backwards within an attempt.
 func (tx *Tx) Snapshot() uint64 { return tx.snapshot }
 
 // ReadOnly reports whether this attempt runs in read-only mode.
@@ -101,7 +133,16 @@ func (tx *Tx) begin(readOnly bool) {
 	}
 	tx.th.killed.Store(0) // stale kills from a previous attempt do not apply
 	tx.th.progress.Store(0)
-	tx.snapshot = tx.eng.clock.Load()
+	tx.tb = tx.eng.timeBase()
+	tx.pl = tx.tb.Mode() == clock.ModePartitionLocal
+	if tx.pl {
+		// Per-partition snapshots are sampled lazily at first touch; the
+		// epoch sample anchors the cross-partition staleness check.
+		tx.beginEpoch = tx.tb.Begin()
+		tx.snapshot = 0
+	} else {
+		tx.snapshot = tx.tb.Begin()
+	}
 }
 
 func (tx *Tx) abort(cause AbortCause) {
@@ -119,14 +160,79 @@ func (tx *Tx) checkKilled() {
 	}
 }
 
-func (tx *Tx) touch(p *Partition, wrote bool) {
+// touch registers partition p in the transaction's footprint and returns
+// its index in tx.touched. First touches sample the partition's snapshot;
+// under the partition-local time base, widening the footprint beyond one
+// partition first re-anchors the existing snapshots (alignFootprint), so
+// all per-partition snapshots always correspond to one common instant.
+func (tx *Tx) touch(p *Partition, wrote bool) int {
 	for i := range tx.touched {
 		if tx.touched[i].p == p {
 			tx.touched[i].wrote = tx.touched[i].wrote || wrote
-			return
+			return i
 		}
 	}
-	tx.touched = append(tx.touched, touchRec{p: p, wrote: wrote})
+	snap := tx.snapshot
+	if tx.pl {
+		if len(tx.touched) > 0 {
+			snap = tx.alignFootprint(p)
+		} else {
+			snap = tx.tb.Now(uint32(p.id))
+			tx.snapshot = snap
+		}
+	}
+	tx.touched = append(tx.touched, touchRec{p: p, wrote: wrote, snap: snap})
+	return len(tx.touched) - 1
+}
+
+// alignFootprint re-anchors a partition-local transaction's snapshots to a
+// single common instant when a new partition p joins the footprint, and
+// returns p's snapshot. If nothing has committed in any touched partition
+// since its snapshot was taken — checked via the O(1) cross-partition
+// epoch, then the touched partitions' counters — the read set is
+// trivially still current and p's fresh sample shares the same instant.
+// Otherwise the snapshots are extended together (full read-set
+// validation), which either establishes a fresh common instant or aborts,
+// and the sample-and-check is retried. This is what keeps transactions
+// spanning partitions serializable when commit time is per-partition:
+// without it, two partitions' snapshots could straddle a writer that
+// committed between them.
+//
+// Ordering matters: p's counter is sampled BEFORE the staleness checks.
+// A cross-partition writer bumps the epoch before ticking any counter
+// (clock.PartitionLocal.Commit), so any writer whose tick the sample
+// already covers — i.e. whose new versions the fresh snapshot would
+// accept — is guaranteed to be visible to the epoch load that follows,
+// and a writer confined to a touched partition is caught by that
+// partition's counter comparison. Checking first and sampling after would
+// let a writer that commits between the two slip half-visible through.
+func (tx *Tx) alignFootprint(p *Partition) uint64 {
+	// The retry budget breaks a livelock this loop is otherwise open to:
+	// any commit in a touched partition — or any cross-partition commit
+	// anywhere (epoch) — between an extension and the re-check dirties the
+	// check again, and unlike the per-orec conflict loops there is no
+	// single contended word whose release would end the wait. After a few
+	// rounds, abort and let the engine's randomized backoff desynchronize
+	// the attempt (and release any held locks in the meantime).
+	const retryBudget = 8
+	for try := 0; ; try++ {
+		snap := tx.tb.Now(uint32(p.id))
+		dirty := tx.tb.Epoch() != tx.beginEpoch
+		if !dirty {
+			for i := range tx.touched {
+				if tx.tb.Now(uint32(tx.touched[i].p.id)) != tx.touched[i].snap {
+					dirty = true
+					break
+				}
+			}
+		}
+		if !dirty {
+			return snap
+		}
+		if try >= retryBudget || !tx.extend() {
+			tx.abort(AbortValidation)
+		}
+	}
 }
 
 func (tx *Tx) tick() {
@@ -145,7 +251,7 @@ func (tx *Tx) Load(addr memory.Addr) uint64 {
 	ps := p.loadState()
 	st := tx.th.statsFor(p.id)
 	st.Loads.Add(1)
-	tx.touch(p, false)
+	ti := tx.touch(p, false)
 
 	// Read-after-write: buffered values win; write-through values are
 	// already in memory and flow through the normal paths below.
@@ -158,15 +264,17 @@ func (tx *Tx) Load(addr memory.Addr) uint64 {
 	o := ps.table.of(addr)
 	if ps.cfg.Read == VisibleReads {
 		tx.hasVisible = true
-		return tx.loadVisible(ps, o, addr, st)
+		return tx.loadVisible(ps, o, addr, st, ti)
 	}
-	return tx.loadInvisible(ps, o, addr, st)
+	return tx.loadInvisible(ps, o, addr, st, ti)
 }
 
 // loadInvisible implements the timestamp-validated invisible read: sample
 // lock word, read value, resample; extend the snapshot when the version is
-// newer than it.
-func (tx *Tx) loadInvisible(ps *partState, o *orec, addr memory.Addr, st *PartThreadStats) uint64 {
+// newer than it. ti indexes the partition's entry in tx.touched, whose
+// snap is the snapshot the version is checked against (the global
+// snapshot mirrored there under the global time base).
+func (tx *Tx) loadInvisible(ps *partState, o *orec, addr memory.Addr, st *PartThreadStats, ti int) uint64 {
 	spins := 0
 	for {
 		l1 := o.lock.Load()
@@ -186,7 +294,7 @@ func (tx *Tx) loadInvisible(ps *partState, o *orec, addr memory.Addr, st *PartTh
 			spins++
 			continue
 		}
-		if ver := versionOf(l1); ver > tx.snapshot {
+		if ver := versionOf(l1); ver > tx.touched[ti].snap {
 			if !tx.extend() {
 				tx.abort(AbortValidation)
 			}
@@ -202,7 +310,7 @@ func (tx *Tx) loadInvisible(ps *partState, o *orec, addr memory.Addr, st *PartTh
 // version check against the snapshot is kept so that a transaction mixing
 // visible and invisible partitions still observes one consistent snapshot
 // (opacity); visible entries themselves never need commit validation.
-func (tx *Tx) loadVisible(ps *partState, o *orec, addr memory.Addr, st *PartThreadStats) uint64 {
+func (tx *Tx) loadVisible(ps *partState, o *orec, addr memory.Addr, st *PartThreadStats, ti int) uint64 {
 	bit := tx.th.readerBit()
 	spins := 0
 	for {
@@ -230,7 +338,7 @@ func (tx *Tx) loadVisible(ps *partState, o *orec, addr memory.Addr, st *PartThre
 			tx.cmConflict(ps, o, l2, AbortLockedOnRead, &spins, st)
 			continue
 		}
-		if ver := versionOf(l2); ver > tx.snapshot {
+		if ver := versionOf(l2); ver > tx.touched[ti].snap {
 			if !tx.extend() {
 				tx.abort(AbortValidation)
 			}
@@ -251,7 +359,7 @@ func (tx *Tx) Store(addr memory.Addr, v uint64) {
 	ps := p.loadState()
 	st := tx.th.statsFor(p.id)
 	st.Stores.Add(1)
-	tx.touch(p, true)
+	ti := tx.touch(p, true)
 	if ps.cfg.Read == VisibleReads {
 		tx.hasVisible = true
 	}
@@ -261,10 +369,10 @@ func (tx *Tx) Store(addr memory.Addr, v uint64) {
 	case ps.cfg.Acquire == CommitTime:
 		tx.wsPut(addr, v, o, ps, modeCTL)
 	case ps.cfg.Write == WriteBack:
-		tx.acquire(ps, o, st)
+		tx.acquire(ps, o, st, ti)
 		tx.wsPut(addr, v, o, ps, modeWB)
 	default: // encounter-time write-through
-		tx.acquire(ps, o, st)
+		tx.acquire(ps, o, st, ti)
 		if i, ok := tx.wsIndex[addr]; ok {
 			_ = i // undo pre-image already captured on first write
 		} else {
@@ -291,8 +399,9 @@ func (tx *Tx) wsPut(addr memory.Addr, v uint64, o *orec, ps *partState, mode wri
 }
 
 // acquire takes the orec's write lock at encounter time, draining visible
-// readers per the partition's reader policy.
-func (tx *Tx) acquire(ps *partState, o *orec, st *PartThreadStats) {
+// readers per the partition's reader policy. ti indexes the partition in
+// tx.touched (for its snapshot).
+func (tx *Tx) acquire(ps *partState, o *orec, st *PartThreadStats, ti int) {
 	spins := 0
 	for {
 		l := o.lock.Load()
@@ -303,7 +412,7 @@ func (tx *Tx) acquire(ps *partState, o *orec, st *PartThreadStats) {
 			tx.cmConflict(ps, o, l, AbortLockedOnWrite, &spins, st)
 			continue
 		}
-		if versionOf(l) > tx.snapshot && len(tx.rs) > 0 {
+		if versionOf(l) > tx.touched[ti].snap && len(tx.rs) > 0 {
 			// The location moved past our snapshot; extend now so commit
 			// validation is not doomed.
 			if !tx.extend() {
@@ -311,7 +420,7 @@ func (tx *Tx) acquire(ps *partState, o *orec, st *PartThreadStats) {
 			}
 		}
 		if o.lock.CompareAndSwap(l, lockWordFor(tx.th.slot)) {
-			tx.locks = append(tx.locks, lockRec{o: o, prev: l})
+			tx.locks = append(tx.locks, lockRec{o: o, prev: l, pid: ps.part.id})
 			if ps.cfg.Read == VisibleReads {
 				tx.drainReaders(ps, o, st)
 			}
@@ -481,13 +590,50 @@ func (tx *Tx) cmConflict(ps *partState, o *orec, l uint64, cause AbortCause, spi
 }
 
 // extend attempts a snapshot extension: validate the invisible read set
-// against the current clock and, on success, move the snapshot forward.
+// and, on success, move the snapshot(s) forward. The new snapshots are
+// sampled before validating (TL2 order): a commit that lands between the
+// sample and the validation carries a version above the new snapshot, so
+// later reads of it re-trigger extension — validation passing means every
+// read was current at some instant at or after the sample.
 func (tx *Tx) extend() bool {
-	now := tx.eng.clock.Load()
+	if tx.pl {
+		return tx.extendPartitionLocal()
+	}
+	now := tx.tb.Now(0)
 	if !tx.validate() {
 		return false
 	}
 	tx.snapshot = now
+	for i := range tx.touched {
+		tx.touched[i].snap = now
+	}
+	return true
+}
+
+// extendPartitionLocal is extension under the partition-local time base:
+// all touched partitions' snapshots (and the epoch anchor) move forward
+// together, so a successful extension re-establishes one common instant
+// at which the entire read set is valid.
+func (tx *Tx) extendPartitionLocal() bool {
+	ep := tx.tb.Epoch()
+	n := len(tx.touched)
+	if cap(tx.extSnaps) < n {
+		tx.extSnaps = make([]uint64, n)
+	}
+	s := tx.extSnaps[:n]
+	for i := range tx.touched {
+		s[i] = tx.tb.Now(uint32(tx.touched[i].p.id))
+	}
+	if !tx.validate() {
+		return false
+	}
+	for i := range tx.touched {
+		tx.touched[i].snap = s[i]
+	}
+	tx.beginEpoch = ep
+	if n > 0 {
+		tx.snapshot = tx.touched[0].snap
+	}
 	return true
 }
 
@@ -525,8 +671,9 @@ func (tx *Tx) prevFor(o *orec) (uint64, bool) {
 }
 
 // commit finishes the transaction: commit-time lock acquisition (CTL
-// partitions), clock increment, read-set validation, write-back, lock
-// release, visible-reader deregistration, bookkeeping.
+// partitions), write-version assignment by the time base, read-set
+// validation, write-back, lock release, visible-reader deregistration,
+// bookkeeping.
 func (tx *Tx) commit() {
 	tx.checkKilled()
 	if len(tx.ws) == 0 && len(tx.locks) == 0 {
@@ -546,8 +693,7 @@ func (tx *Tx) commit() {
 			tx.acquireAtCommit(en)
 		}
 	}
-	wv := tx.eng.clock.Add(1)
-	if wv > tx.snapshot+1 || tx.hasVisible {
+	if tx.assignWriteVersions() || tx.hasVisible {
 		if !tx.validate() {
 			tx.abort(AbortValidation)
 		}
@@ -558,16 +704,89 @@ func (tx *Tx) commit() {
 			tx.eng.arena.StoreAtomic(en.addr, en.val)
 		}
 	}
-	for i := range tx.locks {
-		tx.locks[i].o.lock.Store(versionWord(wv))
+	if tx.pl {
+		for i := range tx.locks {
+			tx.locks[i].o.lock.Store(versionWord(tx.wvFor(tx.locks[i].pid)))
+		}
+	} else {
+		wv := versionWord(tx.commitWV[0])
+		for i := range tx.locks {
+			tx.locks[i].o.lock.Store(wv)
+		}
 	}
 	tx.finish(true)
+}
+
+// assignWriteVersions asks the time base for this commit's write versions
+// — one per written partition, deduplicated from the lock set — and
+// reports whether read-set validation is required before write-back.
+//
+// Under the global time base the classic TL2 rule applies: skip
+// validation only when the single counter moved exactly one past our
+// snapshot (no foreign commit in between). Under the partition-local time
+// base the same rule applies per partition, but only when the whole
+// footprint is one partition; a footprint spanning partitions must
+// validate at the commit point, because its per-partition snapshots were
+// anchored at the last alignment, which other partitions' commits may
+// postdate. The time base is invoked while every write lock is held and
+// before any is released, so the cross-partition epoch bump is visible
+// before the new versions are (the ordering the alignment check relies
+// on).
+func (tx *Tx) assignWriteVersions() bool {
+	if !tx.pl {
+		// Global counter: one tick covers every lock regardless of
+		// partition — skip the dedup scan entirely (this is the hottest
+		// path in the default configuration).
+		tx.commitParts = append(tx.commitParts[:0], uint32(GlobalPartition))
+		if cap(tx.commitWV) < 1 {
+			tx.commitWV = make([]uint64, 1)
+		}
+		tx.commitWV = tx.commitWV[:1]
+		tx.tb.Commit(tx.commitParts, tx.commitWV)
+		return tx.commitWV[0] > tx.snapshot+1
+	}
+	tx.commitParts = tx.commitParts[:0]
+	for i := range tx.locks {
+		pid := uint32(tx.locks[i].pid)
+		dup := false
+		for _, q := range tx.commitParts {
+			if q == pid {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			tx.commitParts = append(tx.commitParts, pid)
+		}
+	}
+	n := len(tx.commitParts)
+	if cap(tx.commitWV) < n {
+		tx.commitWV = make([]uint64, n)
+	}
+	tx.commitWV = tx.commitWV[:n]
+	tx.tb.Commit(tx.commitParts, tx.commitWV)
+	if len(tx.touched) == 1 && n == 1 {
+		return tx.commitWV[0] > tx.touched[0].snap+1
+	}
+	return true
+}
+
+// wvFor returns the write version assigned to partition pid by
+// assignWriteVersions.
+func (tx *Tx) wvFor(pid PartID) uint64 {
+	for i, q := range tx.commitParts {
+		if q == uint32(pid) {
+			return tx.commitWV[i]
+		}
+	}
+	// Unreachable: every lock's partition is registered before release.
+	return tx.commitWV[0]
 }
 
 // acquireAtCommit locks a CTL entry's orec, deduplicating entries that
 // share an orec and draining visible readers when required.
 func (tx *Tx) acquireAtCommit(en *writeEntry) {
-	st := tx.th.statsFor(tx.eng.partOf(tx.topo, en.addr).id)
+	st := tx.th.statsFor(en.ps.part.id)
 	spins := 0
 	for {
 		l := en.o.lock.Load()
@@ -579,7 +798,7 @@ func (tx *Tx) acquireAtCommit(en *writeEntry) {
 			continue
 		}
 		if en.o.lock.CompareAndSwap(l, lockWordFor(tx.th.slot)) {
-			tx.locks = append(tx.locks, lockRec{o: en.o, prev: l})
+			tx.locks = append(tx.locks, lockRec{o: en.o, prev: l, pid: en.ps.part.id})
 			if en.ps.cfg.Read == VisibleReads {
 				tx.drainReaders(en.ps, en.o, st)
 			}

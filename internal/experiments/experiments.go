@@ -102,6 +102,7 @@ func All() []Experiment {
 		{"fig9", "Conflict-detection granularity vs access skew", Fig9},
 		{"fig10", "Extension applications (genome, kmeans)", Fig10},
 		{"fig11", "Long transactions (labyrinth): contention-management policies", Fig11},
+		{"clockscale", "Commit-clock scaling: global vs partition-local time bases", ClockScale},
 	}
 }
 

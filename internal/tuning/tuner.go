@@ -27,6 +27,15 @@
 //     transactional memory designs per partition" argument to the
 //     arbitration axis.
 //
+//  4. Commit time base (optional, AdaptTimeBase): a partitioned workload
+//     dominated by update commits moves the engine from the global commit
+//     counter onto partition-local counters (internal/clock), removing
+//     the shared commit-clock RMW from single-partition commits; a high
+//     cross-partition commit share moves it back. Guarded by the same
+//     regret check as the other probes. This is the "maintain the time
+//     base per partition" payoff of the paper's partitioning argument,
+//     actuated at the engine level rather than per partition.
+//
 // The tuner works on per-epoch deltas of the engine's monotonic
 // per-partition counters; actuation goes through Engine.Reconfigure,
 // which swaps the partition's configuration and orec table under
@@ -83,6 +92,21 @@ type Config struct {
 	// ToSpinConflictRate: an arbitrated partition whose conflict rate
 	// falls below this switches back to CMSpin.
 	ToSpinConflictRate float64
+
+	// AdaptTimeBase enables heuristic (4): engine-level commit-clock
+	// adaptation. A partitioned workload dominated by update commits moves
+	// from the global commit counter to partition-local counters (update
+	// commits confined to one partition then perform no shared-counter
+	// RMW); it moves back when the cross-partition commit share makes the
+	// per-partition bookkeeping a net loss. Like the other probing
+	// heuristics, every switch is guarded by a throughput regret check.
+	AdaptTimeBase bool
+	// ToPartitionLocalUpdates: minimum update commits per epoch (across
+	// all partitions) for the partition-local switch to be considered.
+	ToPartitionLocalUpdates uint64
+	// ToGlobalCrossShare: fraction of update commits that span partitions
+	// above which a partition-local engine reverts to the global counter.
+	ToGlobalCrossShare float64
 }
 
 // DefaultConfig returns the tuner defaults used by the experiments.
@@ -103,6 +127,10 @@ func DefaultConfig() Config {
 		AdaptCM:                false,
 		ToArbiterConflictRate:  0.20,
 		ToSpinConflictRate:     0.02,
+
+		AdaptTimeBase:           false,
+		ToPartitionLocalUpdates: 1000,
+		ToGlobalCrossShare:      0.50,
 	}
 }
 
@@ -115,9 +143,18 @@ type Decision struct {
 	Old    core.PartConfig
 	New    core.PartConfig
 	Reason string
+	// OldTB/NewTB differ when the decision switched the engine's commit
+	// time base (an engine-level actuation) rather than one partition's
+	// configuration; Part/Old/New are then unused.
+	OldTB core.TimeBaseMode
+	NewTB core.TimeBaseMode
 }
 
 func (d Decision) String() string {
+	if d.OldTB != d.NewTB {
+		return fmt.Sprintf("epoch %d: engine time base: %s -> %s (%s)",
+			d.Epoch, d.OldTB, d.NewTB, d.Reason)
+	}
 	return fmt.Sprintf("epoch %d: partition %d (%s): %s -> %s (%s)",
 		d.Epoch, d.Part, d.Name, d.Old, d.New, d.Reason)
 }
@@ -173,6 +210,14 @@ type Tuner struct {
 	prev  map[core.PartID]core.PartStats
 	state map[core.PartID]*partTuneState
 	trace []Decision
+
+	// Time-base adaptation state (engine-level, heuristic 4).
+	tbStreak    int
+	tbProbing   bool
+	tbBaseline  float64
+	tbCooldown  int
+	prevCross   uint64
+	prevCrossOK bool // prevCross was read while partition-local
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -246,6 +291,8 @@ func (t *Tuner) Tick() []Decision {
 	defer t.mu.Unlock()
 	t.epoch++
 	var applied []Decision
+	var total core.PartStats // aggregate delta across partitions
+	nparts := 0
 	for _, p := range t.eng.Partitions() {
 		id := p.ID()
 		cur := t.eng.StatsSnapshot(id)
@@ -254,7 +301,10 @@ func (t *Tuner) Tick() []Decision {
 		if !seen {
 			continue // need one epoch of history
 		}
+		nparts++
 		delta := cur.Sub(prev)
+		total.Commits += delta.Commits
+		total.UpdateCommits += delta.UpdateCommits
 		st := t.state[id]
 		if st == nil {
 			st = &partTuneState{}
@@ -284,8 +334,97 @@ func (t *Tuner) Tick() []Decision {
 			}
 		}
 	}
+	if t.cfg.AdaptTimeBase {
+		if d, ok := t.timeBaseStep(&total, nparts); ok {
+			applied = append(applied, d)
+		}
+	}
 	t.trace = append(t.trace, applied...)
 	return applied
+}
+
+// timeBaseStep applies heuristic (4): move a partitioned, update-heavy
+// workload onto partition-local commit counters; move back when the
+// cross-partition commit share (derived from the epoch counter) erases
+// the benefit. Engine-level: there is one time base, not one per
+// partition, so this runs once per epoch on the aggregate delta.
+func (t *Tuner) timeBaseStep(total *core.PartStats, nparts int) (Decision, bool) {
+	mode := t.eng.TimeBaseMode()
+	cross := t.eng.ClockStats().CrossCommits
+	prevCross, prevOK := t.prevCross, t.prevCrossOK
+	t.prevCross = cross
+	t.prevCrossOK = mode == core.TimeBasePartitionLocal
+	if t.tbCooldown > 0 {
+		t.tbCooldown--
+		t.tbStreak = 0
+		return Decision{}, false
+	}
+	if total.Commits < t.cfg.MinCommits {
+		t.tbStreak = 0
+		// An idle epoch right after a switch makes the regret comparison
+		// meaningless (the baseline came from a different workload phase):
+		// disarm the probe instead of judging the new mode against it
+		// later. The cross-share monitor keeps guarding the switch.
+		t.tbProbing = false
+		return Decision{}, false
+	}
+	switch mode {
+	case core.TimeBaseGlobal:
+		if nparts > 1 && total.UpdateCommits >= t.cfg.ToPartitionLocalUpdates {
+			t.tbStreak++
+		} else {
+			t.tbStreak = 0
+		}
+		if t.tbStreak >= t.cfg.Hysteresis {
+			t.tbStreak = 0
+			t.tbProbing = true
+			t.tbBaseline = float64(total.Commits)
+			t.eng.SetTimeBaseMode(core.TimeBasePartitionLocal)
+			return Decision{
+				Epoch: t.epoch, Name: "engine",
+				OldTB: core.TimeBaseGlobal, NewTB: core.TimeBasePartitionLocal,
+				Reason: fmt.Sprintf("%d update commits/epoch across %d partitions: partition-local commit clock",
+					total.UpdateCommits, nparts),
+			}, true
+		}
+	case core.TimeBasePartitionLocal:
+		if t.tbProbing {
+			t.tbProbing = false
+			if float64(total.Commits) < t.tbBaseline*0.9 {
+				t.tbCooldown = 10
+				t.eng.SetTimeBaseMode(core.TimeBaseGlobal)
+				return Decision{
+					Epoch: t.epoch, Name: "engine",
+					OldTB: core.TimeBasePartitionLocal, NewTB: core.TimeBaseGlobal,
+					Reason: fmt.Sprintf("partition-local clock regressed throughput (%.0f vs %.0f commits/epoch): revert",
+						float64(total.Commits), t.tbBaseline),
+				}, true
+			}
+		}
+		if prevOK && total.UpdateCommits > 0 {
+			crossShare := float64(cross-prevCross) / float64(total.UpdateCommits)
+			if crossShare >= t.cfg.ToGlobalCrossShare {
+				t.tbStreak++
+			} else {
+				t.tbStreak = 0
+			}
+			if t.tbStreak >= t.cfg.Hysteresis {
+				t.tbStreak = 0
+				// Structural revert: the update-heavy condition that admits
+				// partition-local still holds, and the cross-partition share
+				// is invisible from global mode — park the heuristic for a
+				// long cool-down so it does not oscillate.
+				t.tbCooldown = 50
+				t.eng.SetTimeBaseMode(core.TimeBaseGlobal)
+				return Decision{
+					Epoch: t.epoch, Name: "engine",
+					OldTB: core.TimeBasePartitionLocal, NewTB: core.TimeBaseGlobal,
+					Reason: fmt.Sprintf("cross-partition commit share %.2f: global commit clock", crossShare),
+				}, true
+			}
+		}
+	}
+	return Decision{}, false
 }
 
 // visibilityStep applies heuristic (1); returns the decision if one fired.

@@ -346,6 +346,97 @@ func TestCMAdaptationDisabledByDefault(t *testing.T) {
 	}
 }
 
+// TestTimeBaseAdaptation drives heuristic (4) through both directions:
+// a partitioned, update-heavy, partition-confined workload must move the
+// engine onto partition-local commit counters, and a workload whose
+// update commits mostly span partitions must move it back to the global
+// counter.
+func TestTimeBaseAdaptation(t *testing.T) {
+	e := newEngine(t)
+	sites := e.Arena().Sites()
+	sa := sites.Register("tb.a")
+	sb := sites.Register("tb.b")
+	full := make([]core.PartID, sites.Count())
+	full[sa], full[sb] = 1, 2
+	cfgs := []core.PartConfig{core.DefaultPartConfig(), core.DefaultPartConfig(), core.DefaultPartConfig()}
+	if err := e.InstallPlan(full, []string{"g", "a", "b"}, cfgs); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.HillClimb = false
+	cfg.AdaptTimeBase = true
+	cfg.MinCommits = 10
+	cfg.ToPartitionLocalUpdates = 50
+	cfg.Hysteresis = 2
+	tn := New(e, cfg)
+
+	var aa, ab memory.Addr
+	setup := e.MustAttachThread()
+	setup.Atomic(func(tx *core.Tx) {
+		aa = tx.Alloc(sa, 1)
+		ab = tx.Alloc(sb, 1)
+		tx.Store(aa, 0)
+		tx.Store(ab, 0)
+	})
+	e.DetachThread(setup)
+
+	// Phase 1: partition-confined updates — expect the switch to
+	// partition-local.
+	decs := drive(t, e, tn, 8, func(th *core.Thread) {
+		for i := 0; i < 200; i++ {
+			a := aa
+			if i%2 == 0 {
+				a = ab
+			}
+			th.Atomic(func(tx *core.Tx) { tx.Store(a, tx.Load(a)+1) })
+		}
+	})
+	toLocal := false
+	for _, d := range decs {
+		if d.OldTB == core.TimeBaseGlobal && d.NewTB == core.TimeBasePartitionLocal {
+			toLocal = true
+		}
+	}
+	if !toLocal {
+		t.Fatalf("no switch to partition-local; decisions: %v", decs)
+	}
+	if e.TimeBaseMode() != core.TimeBasePartitionLocal {
+		t.Fatalf("mode = %v after phase 1", e.TimeBaseMode())
+	}
+
+	// Phase 2: every update commit spans both partitions — the
+	// cross-partition share hits 1.0 and the engine must fall back.
+	decs = drive(t, e, tn, 16, func(th *core.Thread) {
+		for i := 0; i < 200; i++ {
+			th.Atomic(func(tx *core.Tx) {
+				tx.Store(aa, tx.Load(aa)+1)
+				tx.Store(ab, tx.Load(ab)+1)
+			})
+		}
+	})
+	toGlobal := false
+	for _, d := range decs {
+		if d.OldTB == core.TimeBasePartitionLocal && d.NewTB == core.TimeBaseGlobal {
+			toGlobal = true
+		}
+	}
+	if !toGlobal {
+		t.Fatalf("no fallback to global; decisions: %v", decs)
+	}
+	if e.TimeBaseMode() != core.TimeBaseGlobal {
+		t.Fatalf("mode = %v after phase 2", e.TimeBaseMode())
+	}
+}
+
+// TestTimeBaseAdaptationDisabledByDefault pins heuristic (4) behind its
+// flag.
+func TestTimeBaseAdaptationDisabledByDefault(t *testing.T) {
+	if DefaultConfig().AdaptTimeBase {
+		t.Fatal("AdaptTimeBase should default to off")
+	}
+}
+
 func TestStartStop(t *testing.T) {
 	e := newEngine(t)
 	cfg := DefaultConfig()

@@ -37,14 +37,30 @@
 //	fmt.Print(plan.Describe(rt.Sites()))
 //	rt.StartTuner(stm.DefaultTunerConfig())
 //
-// All transactions remain serializable across partitions: a single global
-// time base orders commits, partitioning only splits conflict detection.
+// # Time bases
+//
+// Commit time itself is a pluggable layer (internal/clock). The default
+// TimeBaseGlobal orders all commits on one shared counter — TL2/TinySTM
+// semantics, with every update commit paying one shared read-modify-write.
+// TimeBasePartitionLocal gives each partition its own commit counter plus
+// a cheap global epoch: update transactions confined to a single
+// partition (the common case once AutoPartition has split the heap) never
+// touch shared clock state, so disjoint partitions stop contending on
+// commit. Transactions that span partitions stay serializable through
+// snapshot alignment and commit-time validation. Select the mode at
+// construction (Config.TimeBase), switch it live with SetTimeBase, or let
+// the tuner decide (TunerConfig.AdaptTimeBase); ClockStats exposes the
+// per-partition counters and shared-RMW figures.
+//
+// All transactions remain serializable across partitions: the time base
+// orders commits, partitioning only splits conflict detection.
 package stm
 
 import (
 	"fmt"
 	"io"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/memory"
 	"repro/internal/partition"
@@ -91,6 +107,12 @@ type (
 	TraceRecorder = trace.Recorder
 	// AttemptEvent is one traced transaction attempt outcome.
 	AttemptEvent = core.AttemptEvent
+	// TimeBaseMode selects the commit time base (global vs partition-local
+	// counters).
+	TimeBaseMode = core.TimeBaseMode
+	// ClockStats is a momentary reading of the commit time base:
+	// per-partition counters plus shared-RMW contention figures.
+	ClockStats = clock.Stats
 )
 
 // Nil is the null heap address.
@@ -113,6 +135,11 @@ const (
 
 	WriterKillsReaders    = core.WriterKillsReaders
 	WriterYieldsToReaders = core.WriterYieldsToReaders
+
+	// TimeBaseGlobal is the single shared commit counter (the default).
+	TimeBaseGlobal = core.TimeBaseGlobal
+	// TimeBasePartitionLocal gives each partition its own commit counter.
+	TimeBasePartitionLocal = core.TimeBasePartitionLocal
 )
 
 // Abort causes, for indexing PartStats.Aborts.
@@ -155,6 +182,9 @@ type Config struct {
 	// 1/YieldEveryOps. Use on hosts with fewer cores than workers so
 	// transaction conflict windows actually overlap.
 	YieldEveryOps uint64
+	// TimeBase selects the commit time base. Zero value: TimeBaseGlobal
+	// (classic single shared counter).
+	TimeBase TimeBaseMode
 }
 
 // Runtime owns the heap, the STM engine, the partition analyzer and the
@@ -191,6 +221,9 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if cfg.YieldEveryOps > 0 {
 		rt.eng.SetYieldEveryOps(cfg.YieldEveryOps)
+	}
+	if cfg.TimeBase != TimeBaseGlobal {
+		rt.eng.SetTimeBaseMode(cfg.TimeBase)
 	}
 	return rt, nil
 }
@@ -372,6 +405,18 @@ func (r *Runtime) StartTracing(capacity int) *TraceRecorder {
 
 // StopTracing detaches the tracer installed by StartTracing.
 func (r *Runtime) StopTracing() { r.eng.SetTracer(nil) }
+
+// TimeBase reports which commit time base the runtime is using.
+func (r *Runtime) TimeBase() TimeBaseMode { return r.eng.TimeBaseMode() }
+
+// SetTimeBase switches the commit time base under quiescence. Safe to
+// call mid-traffic: counters migrate monotonically, so transactions
+// observe time moving only forwards.
+func (r *Runtime) SetTimeBase(m TimeBaseMode) { r.eng.SetTimeBaseMode(m) }
+
+// ClockStats returns a momentary reading of the commit time base
+// (per-partition counters, cross-partition epoch, shared-RMW counts).
+func (r *Runtime) ClockStats() ClockStats { return r.eng.ClockStats() }
 
 // Stats returns a statistics snapshot for every partition.
 func (r *Runtime) Stats() []PartStats { return r.eng.AllStats() }
