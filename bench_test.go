@@ -12,6 +12,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -71,6 +72,11 @@ func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
 // partition-local commit counters on the partitioned workloads.
 func BenchmarkClockScale(b *testing.B) { runExperiment(b, "clockscale") }
 
+// BenchmarkRsDedup measures footprint-bounded bookkeeping: validate cost
+// as loads grow over a fixed footprint, and write-set indexing across
+// write modes.
+func BenchmarkRsDedup(b *testing.B) { runExperiment(b, "rsdedup") }
+
 // --- primitive-cost micro-benchmarks ---
 
 // BenchmarkUncontendedIncrement measures the base cost of a minimal
@@ -128,6 +134,39 @@ func BenchmarkTimeBaseIncrement(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				th.Atomic(func(tx *stm.Tx) { tx.Store(a, tx.Load(a)+1) })
 			}
+		})
+	}
+}
+
+// BenchmarkRepeatedReadSweep measures loop-heavy re-reading of a fixed
+// footprint through the public facade: per-load cost must stay flat as
+// passes multiply, because the read set is deduplicated per orec.
+func BenchmarkRepeatedReadSweep(b *testing.B) {
+	const words = 64
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var base stm.Addr
+	th.Atomic(func(tx *stm.Tx) {
+		base = tx.Alloc(stm.SiteID(0), words)
+		for i := 0; i < words; i++ {
+			tx.Store(base+stm.Addr(i), uint64(i))
+		}
+	})
+	for _, passes := range []int{1, 8} {
+		b.Run(fmt.Sprintf("passes=%d", passes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				th.ReadOnlyAtomic(func(tx *stm.Tx) {
+					var sink uint64
+					for p := 0; p < passes; p++ {
+						for j := 0; j < words; j++ {
+							sink += tx.Load(base + stm.Addr(j))
+						}
+					}
+					_ = sink
+				})
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*passes*words), "ns/load")
 		})
 	}
 }

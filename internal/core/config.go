@@ -17,6 +17,16 @@
 // partition-local time base gives every partition its own commit counter
 // and keeps cross-partition transactions serializable through snapshot
 // alignment and commit-time validation. See TimeBaseMode.
+//
+// Per-transaction bookkeeping is footprint-bounded: the read set is
+// deduplicated per orec and the write set holds one entry per unique
+// address, so validation, extension and commit cost scale with the unique
+// locations a transaction touches, never with the operations it executes.
+// Set-membership lookups run as inline linear scans while sets are small
+// and through generation-stamped open-addressed indexes (txIndex) beyond;
+// commit-time validation is skipped when no foreign commit has landed in
+// the footprint (the TL2 rule, generalized per partition). See tx.go and
+// txindex.go.
 package core
 
 import (

@@ -178,8 +178,9 @@ func (e *Engine) AttachThread() (*Thread, error) {
 		slot:  slot,
 		alloc: memory.NewAllocator(e.arena),
 		rng:   uint64(slot)*0x9E3779B97F4A7C15 + 0x1234567,
-		stats: make([]PartThreadStats, len(e.topo.Load().parts)),
 	}
+	st := make([]PartThreadStats, len(e.topo.Load().parts))
+	th.stats.Store(&st)
 	th.tx.init(e, th)
 	e.threads[slot].Store(th)
 	e.nthreads++
@@ -221,11 +222,12 @@ func (e *Engine) DetachThread(th *Thread) {
 	if e.threads[th.slot].Load() == th {
 		e.threads[th.slot].Store(nil)
 		e.nthreads--
-		for len(e.retired) < len(th.stats) {
+		st := *th.stats.Load()
+		for len(e.retired) < len(st) {
 			e.retired = append(e.retired, PartStats{})
 		}
-		for p := range th.stats {
-			th.stats[p].accumulateInto(&e.retired[p])
+		for p := range st {
+			st[p].accumulateInto(&e.retired[p])
 		}
 	}
 }
@@ -295,19 +297,43 @@ func (e *Engine) InstallPlan(sitePart []PartID, names []string, cfgs []PartConfi
 	copy(sp, sitePart)
 
 	e.quiesce(func() {
+		// mu serializes the stats swap against attach/detach and against
+		// StatsSnapshot's read of the retired aggregate.
+		e.mu.Lock()
+		defer e.mu.Unlock()
 		e.topo.Store(&topology{sitePart: sp, parts: parts})
 		// Counters for new partitions start at the time base's current
 		// ceiling, keeping every partition's timeline monotone across the
 		// install.
 		e.timeBase().Resize(len(parts))
-		for i := range e.threads {
-			if th := e.threads[i].Load(); th != nil {
-				th.stats = make([]PartThreadStats, len(parts))
-			}
+		// Partition identities change across an install, so per-partition
+		// attribution of the old counters is meaningless — but the history
+		// itself is not. Fold every retired and per-thread counter into one
+		// aggregate carried on the global partition, so engine-wide totals
+		// (and throughput measured across the install) stay monotonic.
+		// Snapshots serialize against this block on mu (StatsSnapshot), so
+		// no reader can observe the swap half-applied.
+		var carry PartStats
+		for i := range e.retired {
+			carry.add(&e.retired[i])
 		}
-		e.mu.Lock()
+		for i := range e.threads {
+			th := e.threads[i].Load()
+			if th == nil {
+				continue
+			}
+			old := *th.stats.Load()
+			fresh := make([]PartThreadStats, len(parts))
+			th.stats.Store(&fresh)
+			var folded PartStats
+			for p := range old {
+				old[p].accumulateInto(&folded)
+			}
+			carry.add(&folded)
+		}
 		e.retired = make([]PartStats, len(parts))
-		e.mu.Unlock()
+		carry.Part = GlobalPartition
+		e.retired[GlobalPartition] = carry
 	})
 	return nil
 }
@@ -363,32 +389,37 @@ func (e *Engine) STWCount() uint64 { return e.stwCount.Load() }
 // are atomics incremented by their owning threads; the aggregate is a
 // momentary view, and every counter is monotonic, so deltas between
 // snapshots are exact in the long run — which is what the tuner consumes.
+// Across a plan install the engine folds all prior counters into the
+// global partition's aggregate (see InstallPlan), so engine-wide totals
+// keep growing monotonically even though per-partition attribution resets
+// with the new partition identities.
 func (e *Engine) StatsSnapshot(id PartID) PartStats {
 	p := e.Partition(id)
 	out := PartStats{Part: id}
 	if p != nil {
 		out.Name = p.name
 	}
+	// mu covers both the retired aggregate and the walk over the per-thread
+	// slices, so a snapshot serializes against a concurrent plan install
+	// (which swaps the slices and folds them into retired under the same
+	// lock): it observes the engine entirely before or entirely after the
+	// install, never a mix — which is what keeps totals monotonic for
+	// delta-taking consumers (bench harness, tuner).
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	if int(id) < len(e.retired) {
-		r := e.retired[id]
-		out.Loads += r.Loads
-		out.Stores += r.Stores
-		out.Commits += r.Commits
-		out.UpdateCommits += r.UpdateCommits
-		out.ROCommits += r.ROCommits
-		out.WaitCycles += r.WaitCycles
-		for i := range r.Aborts {
-			out.Aborts[i] += r.Aborts[i]
-		}
+		out.add(&e.retired[id])
 	}
-	e.mu.Unlock()
 	for i := range e.threads {
 		th := e.threads[i].Load()
-		if th == nil || int(id) >= len(th.stats) {
+		if th == nil {
 			continue
 		}
-		th.stats[id].accumulateInto(&out)
+		st := *th.stats.Load()
+		if int(id) >= len(st) {
+			continue
+		}
+		st[id].accumulateInto(&out)
 	}
 	return out
 }
@@ -522,12 +553,10 @@ func (e *Engine) backoff(th *Thread, attempt int) {
 	if shift > 14 {
 		shift = 14
 	}
-	max := uint64(1) << shift // in ~64ns spin quanta
+	max := uint64(1) << shift // in spin quanta
 	spins := th.nextRand() % max
 	if spins < 16 {
-		for i := uint64(0); i < spins*8; i++ {
-			_ = i
-		}
+		spinWait(spins * 8)
 		return
 	}
 	if spins < 512 {

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/memory"
+)
+
+// TestReadSetBoundedByFootprint is the regression test for read-set
+// deduplication: len(tx.rs) must be bounded by the number of unique orecs
+// read, no matter how many loads the transaction executes.
+func TestReadSetBoundedByFootprint(t *testing.T) {
+	cases := []struct {
+		name      string
+		words     int
+		granShift uint
+		passes    int
+		wantOrecs int
+	}{
+		// Small footprint: the linear-scan fast path.
+		{"small", 8, 0, 100, 8},
+		// Large footprint: the open-addressed index path.
+		{"large", 200, 0, 20, 200},
+		// Several words per orec: the bound is orecs, not addresses.
+		{"coarse-grain", 64, 3, 50, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultPartConfig()
+			cfg.GranShift = tc.granShift
+			e := newTestEngine(t, cfg)
+			th := e.MustAttachThread()
+			defer e.DetachThread(th)
+			var base memory.Addr
+			th.Atomic(func(tx *Tx) {
+				base = tx.Alloc(memory.SiteID(0), tc.words)
+				for i := 0; i < tc.words; i++ {
+					tx.Store(base+memory.Addr(i), uint64(i))
+				}
+			})
+			th.ReadOnlyAtomic(func(tx *Tx) {
+				for p := 0; p < tc.passes; p++ {
+					for i := 0; i < tc.words; i++ {
+						if got := tx.Load(base + memory.Addr(i)); got != uint64(i) {
+							t.Fatalf("load %d = %d", i, got)
+						}
+					}
+				}
+				if got := tx.ReadSetLen(); got != tc.wantOrecs {
+					t.Fatalf("read set has %d entries after %d loads; want %d (unique orecs)",
+						got, tc.passes*tc.words, tc.wantOrecs)
+				}
+			})
+		})
+	}
+}
+
+// TestWriteSetDedupAllModes checks the open-addressed write-set index in
+// all three write modes: one entry per unique address regardless of write
+// count, correct read-after-write, and correct committed values — for both
+// the inline-probe (≤8 entries) and indexed (larger) regimes.
+func TestWriteSetDedupAllModes(t *testing.T) {
+	modes := []struct {
+		name string
+		mut  func(*PartConfig)
+	}{
+		{"wb", func(c *PartConfig) {}},
+		{"wt", func(c *PartConfig) { c.Write = WriteThrough }},
+		{"ctl", func(c *PartConfig) { c.Acquire = CommitTime }},
+	}
+	for _, m := range modes {
+		for _, words := range []int{4, 64} {
+			name := m.name + "-small"
+			if words > wsSmallMax {
+				name = m.name + "-large"
+			}
+			t.Run(name, func(t *testing.T) {
+				cfg := DefaultPartConfig()
+				m.mut(&cfg)
+				e := newTestEngine(t, cfg)
+				th := e.MustAttachThread()
+				defer e.DetachThread(th)
+				var base memory.Addr
+				th.Atomic(func(tx *Tx) {
+					base = tx.Alloc(memory.SiteID(0), words)
+					for i := 0; i < words; i++ {
+						tx.Store(base+memory.Addr(i), 0)
+					}
+				})
+				th.Atomic(func(tx *Tx) {
+					for round := 0; round < 5; round++ {
+						for i := 0; i < words; i++ {
+							tx.Store(base+memory.Addr(i), uint64(round*1000+i))
+						}
+					}
+					if got := tx.WriteSetLen(); got != words {
+						t.Fatalf("write set has %d entries after %d stores; want %d",
+							got, 5*words, words)
+					}
+					for i := 0; i < words; i++ {
+						if got := tx.Load(base + memory.Addr(i)); got != uint64(4000+i) {
+							t.Fatalf("read-after-write %d = %d, want %d", i, got, 4000+i)
+						}
+					}
+				})
+				th.ReadOnlyAtomic(func(tx *Tx) {
+					for i := 0; i < words; i++ {
+						if got := tx.Load(base + memory.Addr(i)); got != uint64(4000+i) {
+							t.Fatalf("committed %d = %d, want %d", i, got, 4000+i)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestSpinWaitProducesPause asserts the backoff pause primitive actually
+// pauses: the old empty loops were compiled away, making every randomized
+// backoff a no-op. Distinct spin counts must produce distinctly long
+// pauses. Minimum-over-tries filters scheduler noise.
+func TestSpinWaitProducesPause(t *testing.T) {
+	minOver := func(n uint64) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for try := 0; try < 8; try++ {
+			t0 := time.Now()
+			spinWait(n)
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	zero := minOver(0)
+	mid := minOver(1 << 16)
+	big := minOver(1 << 20)
+	if big < 50*time.Microsecond {
+		t.Fatalf("spinWait(1<<20) took %v; the pause loop is being compiled away", big)
+	}
+	if big < 4*mid {
+		t.Fatalf("pause not scaling: spinWait(1<<16)=%v, spinWait(1<<20)=%v", mid, big)
+	}
+	if zero > mid {
+		t.Fatalf("spinWait(0)=%v exceeds spinWait(1<<16)=%v", zero, mid)
+	}
+}
+
+// TestInstallPlanStatsRace drives transactions, repeated plan installs and
+// concurrent stats snapshots; under -race this is the regression test for
+// the InstallPlan vs StatsSnapshot data race on the per-thread stats
+// slices.
+func TestInstallPlanStatsRace(t *testing.T) {
+	e := newTestEngine(t, DefaultPartConfig())
+	sites := e.Arena().Sites()
+	sa := sites.Register("race.a")
+	sb := sites.Register("race.b")
+	var addrs [2]memory.Addr
+	setup := e.MustAttachThread()
+	setup.Atomic(func(tx *Tx) {
+		addrs[0] = tx.Alloc(sa, 4)
+		addrs[1] = tx.Alloc(sb, 4)
+		for _, a := range addrs {
+			for j := 0; j < 4; j++ {
+				tx.Store(a+memory.Addr(j), 1)
+			}
+		}
+	})
+	e.DetachThread(setup)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := e.MustAttachThread()
+			defer e.DetachThread(th)
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := addrs[rng.Intn(2)] + memory.Addr(rng.Intn(4))
+				th.Atomic(func(tx *Tx) { tx.Store(a, tx.Load(a)+1) })
+			}
+		}(int64(w) + 1)
+	}
+	// Monitor: continuous snapshots (the racing reader of the old code).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = e.AllStats()
+			_ = e.StatsSnapshot(GlobalPartition)
+		}
+	}()
+	// Installer: alternately install a two-partition plan and revert.
+	full := make([]PartID, sites.Count())
+	full[sa], full[sb] = 1, 2
+	for i := 0; i < 20; i++ {
+		if err := e.InstallPlan(full, []string{"g", "a", "b"},
+			[]PartConfig{DefaultPartConfig(), DefaultPartConfig(), DefaultPartConfig()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.InstallPlan(make([]PartID, sites.Count()), []string{"g"},
+			[]PartConfig{DefaultPartConfig()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestInstallPlanPreservesStats asserts commit/abort history survives a
+// plan install: the old code silently zeroed every counter, making any
+// experiment spanning an install under-report throughput.
+func TestInstallPlanPreservesStats(t *testing.T) {
+	e := newTestEngine(t, DefaultPartConfig())
+	sites := e.Arena().Sites()
+	sa := sites.Register("keep.a")
+	th := e.MustAttachThread()
+	var a memory.Addr
+	th.Atomic(func(tx *Tx) {
+		a = tx.Alloc(sa, 1)
+		tx.Store(a, 0)
+	})
+	const n = 500
+	for i := 0; i < n; i++ {
+		th.Atomic(func(tx *Tx) { tx.Store(a, tx.Load(a)+1) })
+	}
+	total := func() (commits, loads uint64) {
+		for _, s := range e.AllStats() {
+			commits += s.Commits
+			loads += s.Loads
+		}
+		return
+	}
+	c0, l0 := total()
+	if c0 < n {
+		t.Fatalf("precondition: %d commits before install, want >= %d", c0, n)
+	}
+	full := make([]PartID, sites.Count())
+	full[sa] = 1
+	if err := e.InstallPlan(full, []string{"g", "a"},
+		[]PartConfig{DefaultPartConfig(), DefaultPartConfig()}); err != nil {
+		t.Fatal(err)
+	}
+	c1, l1 := total()
+	if c1 != c0 || l1 != l0 {
+		t.Fatalf("install dropped history: commits %d -> %d, loads %d -> %d", c0, c1, l0, l1)
+	}
+	// And the clock keeps running on top of the preserved aggregate.
+	for i := 0; i < 100; i++ {
+		th.Atomic(func(tx *Tx) { tx.Store(a, tx.Load(a)+1) })
+	}
+	e.DetachThread(th)
+	c2, _ := total()
+	if c2 < c1+100 {
+		t.Fatalf("post-install commits not accumulating: %d -> %d", c1, c2)
+	}
+}
+
+// TestTortureWriteModes is the write-set-index torture: for each write
+// mode (WB, WT, CTL) several workers hammer wide transfers (write sets
+// beyond the inline-probe threshold) and full scans (read sets beyond the
+// linear fast path) while the total is conserved.
+func TestTortureWriteModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test skipped in -short mode")
+	}
+	modes := []struct {
+		name string
+		mut  func(*PartConfig)
+	}{
+		{"wb", func(c *PartConfig) {}},
+		{"wt", func(c *PartConfig) { c.Write = WriteThrough }},
+		{"ctl", func(c *PartConfig) { c.Acquire = CommitTime }},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := DefaultPartConfig()
+			cfg.CM = CMBackoff // exercise the repaired pause under load
+			m.mut(&cfg)
+			e := newTestEngine(t, cfg)
+			e.SetYieldEveryOps(16)
+			const cells = 64
+			const initVal = 1000
+			var base memory.Addr
+			setup := e.MustAttachThread()
+			setup.Atomic(func(tx *Tx) {
+				base = tx.Alloc(memory.SiteID(0), cells)
+				for i := 0; i < cells; i++ {
+					tx.Store(base+memory.Addr(i), initVal)
+				}
+			})
+			e.DetachThread(setup)
+			const wantTotal = cells * initVal
+
+			stop := make(chan struct{})
+			var badSum atomic.Uint64
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					th := e.MustAttachThread()
+					defer e.DetachThread(th)
+					rng := rand.New(rand.NewSource(seed))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if rng.Intn(4) == 0 {
+							// Full scan: the sum is invariant.
+							th.ReadOnlyAtomic(func(tx *Tx) {
+								var sum uint64
+								for i := 0; i < cells; i++ {
+									sum += tx.Load(base + memory.Addr(i))
+								}
+								if sum != wantTotal {
+									badSum.Add(1)
+								}
+							})
+							continue
+						}
+						// Wide transfer: move one unit along a 12-cell ring,
+						// touching each cell twice (read+write) — a write set
+						// past the inline-probe threshold.
+						start := rng.Intn(cells)
+						th.Atomic(func(tx *Tx) {
+							for k := 0; k < 12; k++ {
+								src := base + memory.Addr((start+k)%cells)
+								dst := base + memory.Addr((start+k+1)%cells)
+								v := tx.Load(src)
+								if v == 0 {
+									return
+								}
+								tx.Store(src, v-1)
+								tx.Store(dst, tx.Load(dst)+1)
+							}
+						})
+					}
+				}(int64(w) + 1)
+			}
+			waitCommits(t, e, 5_000)
+			close(stop)
+			wg.Wait()
+			if n := badSum.Load(); n != 0 {
+				t.Fatalf("%d scans observed a broken sum", n)
+			}
+			check := e.MustAttachThread()
+			defer e.DetachThread(check)
+			check.Atomic(func(tx *Tx) {
+				var sum uint64
+				for i := 0; i < cells; i++ {
+					sum += tx.Load(base + memory.Addr(i))
+				}
+				if sum != wantTotal {
+					t.Fatalf("final sum %d, want %d", sum, wantTotal)
+				}
+			})
+		})
+	}
+}

@@ -53,6 +53,19 @@ type PartStats struct {
 	WaitCycles    uint64
 }
 
+// add accumulates o's counters into s (identity fields are untouched).
+func (s *PartStats) add(o *PartStats) {
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.Commits += o.Commits
+	s.UpdateCommits += o.UpdateCommits
+	s.ROCommits += o.ROCommits
+	s.WaitCycles += o.WaitCycles
+	for i := range s.Aborts {
+		s.Aborts[i] += o.Aborts[i]
+	}
+}
+
 // TotalAborts sums all abort causes.
 func (s *PartStats) TotalAborts() uint64 {
 	var t uint64

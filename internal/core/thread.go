@@ -35,10 +35,14 @@ type Thread struct {
 	// older-wins arbitration gives long-retrying transactions priority.
 	beginSeq atomic.Uint64
 
-	// stats[p] are this thread's counters for partition p. The slice is
-	// grown by the engine (under the registry lock, during quiescence or
-	// setup) when partitions are added.
-	stats []PartThreadStats
+	// stats points to this thread's per-partition counter blocks. The
+	// engine replaces the slice (under the registry lock, during quiescence)
+	// when a plan install changes the partition count; monitor threads
+	// (tuner, StatsSnapshot) read it concurrently with the owning thread's
+	// increments, hence the atomic pointer. Counters of a replaced slice
+	// are folded into the engine's retired aggregate so history survives
+	// plan installs.
+	stats atomic.Pointer[[]PartThreadStats]
 
 	rng uint64 // xorshift state for backoff jitter
 
@@ -94,7 +98,7 @@ func (th *Thread) exitGate() { th.active.Store(0) }
 
 // statsFor returns this thread's counter block for partition p.
 func (th *Thread) statsFor(p PartID) *PartThreadStats {
-	return &th.stats[p]
+	return &(*th.stats.Load())[p]
 }
 
 // Atomic runs fn as a transaction, retrying on conflict until it commits.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"runtime"
 
 	"repro/internal/clock"
@@ -83,25 +84,46 @@ type Tx struct {
 
 	rs      []readEntry
 	ws      []writeEntry
-	wsIndex map[memory.Addr]int
 	locks   []lockRec
 	vreads  []*orec
 	allocs  []allocRec
 	frees   []allocRec
 	touched []touchRec
 
+	// Footprint-bounded lookup structure: every per-access search (read-set
+	// dedup, write-set probe, own-lock lookup) runs an inline linear scan
+	// while the set is small and switches to a generation-stamped
+	// open-addressed index once it outgrows the scan. rsIndexed/wsIndexed/
+	// lkIndexed count how many entries of the corresponding slice have been
+	// mirrored into the index so far (the index is synced lazily on the
+	// first lookup past the small-set threshold).
+	rsIdx     txIndex
+	rsIndexed int
+	wsIdx     txIndex
+	wsIndexed int
+	lkIdx     txIndex
+	lkIndexed int
+
+	// touchIdx/touchGen give O(1) partition→touched lookup: touchIdx[pid]
+	// is the partition's position in tx.touched when touchGen[pid] matches
+	// touchGenVal (bumped every attempt; sized to the topology at begin).
+	touchIdx    []int32
+	touchGen    []uint64
+	touchGenVal uint64
+
 	// Commit/extension scratch, reused across attempts: the deduplicated
-	// written partitions, their assigned write versions, and extension's
-	// resampled snapshots.
+	// written partitions, their assigned write versions (also mirrored into
+	// wvByPid for O(1) lookup at lock release), and extension's resampled
+	// snapshots.
 	commitParts []uint32
 	commitWV    []uint64
+	wvByPid     []uint64
 	extSnaps    []uint64
 }
 
 func (tx *Tx) init(e *Engine, th *Thread) {
 	tx.eng = e
 	tx.th = th
-	tx.wsIndex = make(map[memory.Addr]int, 64)
 }
 
 // Snapshot returns the transaction's current snapshot timestamp: the
@@ -128,9 +150,15 @@ func (tx *Tx) begin(readOnly bool) {
 	tx.allocs = tx.allocs[:0]
 	tx.frees = tx.frees[:0]
 	tx.touched = tx.touched[:0]
-	if len(tx.wsIndex) > 0 {
-		clear(tx.wsIndex)
+	tx.rsIdx.reset()
+	tx.wsIdx.reset()
+	tx.lkIdx.reset()
+	tx.rsIndexed, tx.wsIndexed, tx.lkIndexed = 0, 0, 0
+	if n := len(tx.topo.parts); len(tx.touchIdx) < n {
+		tx.touchIdx = make([]int32, n)
+		tx.touchGen = make([]uint64, n)
 	}
+	tx.touchGenVal++
 	tx.th.killed.Store(0) // stale kills from a previous attempt do not apply
 	tx.th.progress.Store(0)
 	tx.tb = tx.eng.timeBase()
@@ -161,16 +189,20 @@ func (tx *Tx) checkKilled() {
 }
 
 // touch registers partition p in the transaction's footprint and returns
-// its index in tx.touched. First touches sample the partition's snapshot;
-// under the partition-local time base, widening the footprint beyond one
-// partition first re-anchors the existing snapshots (alignFootprint), so
-// all per-partition snapshots always correspond to one common instant.
+// its index in tx.touched. Repeat touches resolve in O(1) through the
+// generation-stamped touchIdx table (sized to the topology at begin).
+// First touches sample the partition's snapshot; under the partition-local
+// time base, widening the footprint beyond one partition first re-anchors
+// the existing snapshots (alignFootprint), so all per-partition snapshots
+// always correspond to one common instant.
 func (tx *Tx) touch(p *Partition, wrote bool) int {
-	for i := range tx.touched {
-		if tx.touched[i].p == p {
-			tx.touched[i].wrote = tx.touched[i].wrote || wrote
-			return i
+	id := int(p.id)
+	if tx.touchGen[id] == tx.touchGenVal {
+		i := int(tx.touchIdx[id])
+		if wrote {
+			tx.touched[i].wrote = true
 		}
+		return i
 	}
 	snap := tx.snapshot
 	if tx.pl {
@@ -182,8 +214,82 @@ func (tx *Tx) touch(p *Partition, wrote bool) int {
 		}
 	}
 	tx.touched = append(tx.touched, touchRec{p: p, wrote: wrote, snap: snap})
+	tx.touchIdx[id] = int32(len(tx.touched) - 1)
+	tx.touchGen[id] = tx.touchGenVal
 	return len(tx.touched) - 1
 }
+
+// Small-set thresholds: below these, set membership runs as an inline
+// linear scan (the entries fit in a couple of cache lines and a scan beats
+// a hash probe); above, lookups go through the generation-stamped index.
+const (
+	rsSmallMax = 16
+	wsSmallMax = 8
+	lkSmallMax = 8
+)
+
+// rsFind returns the read-set position holding orec o, or -1. Past the
+// small-set threshold it lazily mirrors newly appended entries into rsIdx
+// and probes that instead, so the cost of a lookup — and with it the cost
+// of every load — is independent of how many loads the transaction has
+// executed.
+func (tx *Tx) rsFind(o *orec) int {
+	if tx.rsIndexed == 0 && len(tx.rs) <= rsSmallMax {
+		for i := range tx.rs {
+			if tx.rs[i].o == o {
+				return i
+			}
+		}
+		return -1
+	}
+	for ; tx.rsIndexed < len(tx.rs); tx.rsIndexed++ {
+		tx.rsIdx.put(orecKey(tx.rs[tx.rsIndexed].o), int32(tx.rsIndexed))
+	}
+	return tx.rsIdx.get(orecKey(o))
+}
+
+// wsFind returns the write-set position for addr, or -1 (same hybrid
+// scheme as rsFind, keyed by address).
+func (tx *Tx) wsFind(addr memory.Addr) int {
+	if tx.wsIndexed == 0 && len(tx.ws) <= wsSmallMax {
+		for i := range tx.ws {
+			if tx.ws[i].addr == addr {
+				return i
+			}
+		}
+		return -1
+	}
+	for ; tx.wsIndexed < len(tx.ws); tx.wsIndexed++ {
+		tx.wsIdx.put(uint64(tx.ws[tx.wsIndexed].addr), int32(tx.wsIndexed))
+	}
+	return tx.wsIdx.get(uint64(addr))
+}
+
+// lkFind returns the lock-set position holding orec o, or -1 (same hybrid
+// scheme as rsFind; used by commit-time validation's own-lock lookups).
+func (tx *Tx) lkFind(o *orec) int {
+	if tx.lkIndexed == 0 && len(tx.locks) <= lkSmallMax {
+		for i := range tx.locks {
+			if tx.locks[i].o == o {
+				return i
+			}
+		}
+		return -1
+	}
+	for ; tx.lkIndexed < len(tx.locks); tx.lkIndexed++ {
+		tx.lkIdx.put(orecKey(tx.locks[tx.lkIndexed].o), int32(tx.lkIndexed))
+	}
+	return tx.lkIdx.get(orecKey(o))
+}
+
+// ReadSetLen reports the current number of read-set entries. Deduplication
+// bounds it by the number of unique orecs the transaction has read, not by
+// the number of loads executed (exposed for tests and experiments).
+func (tx *Tx) ReadSetLen() int { return len(tx.rs) }
+
+// WriteSetLen reports the current number of write-set entries (one per
+// unique address written).
+func (tx *Tx) WriteSetLen() int { return len(tx.ws) }
 
 // alignFootprint re-anchors a partition-local transaction's snapshots to a
 // single common instant when a new partition p joins the footprint, and
@@ -256,7 +362,7 @@ func (tx *Tx) Load(addr memory.Addr) uint64 {
 	// Read-after-write: buffered values win; write-through values are
 	// already in memory and flow through the normal paths below.
 	if len(tx.ws) > 0 {
-		if i, ok := tx.wsIndex[addr]; ok && tx.ws[i].mode != modeWT {
+		if i := tx.wsFind(addr); i >= 0 && tx.ws[i].mode != modeWT {
 			return tx.ws[i].val
 		}
 	}
@@ -299,6 +405,15 @@ func (tx *Tx) loadInvisible(ps *partState, o *orec, addr memory.Addr, st *PartTh
 				tx.abort(AbortValidation)
 			}
 			continue // re-read under the extended snapshot
+		}
+		// Dedup per orec: a repeat read of an orec whose recorded version
+		// still matches adds nothing to validate — the read set stays
+		// bounded by the unique orecs touched, not the loads executed. (A
+		// version mismatch on a repeat read cannot pass the snapshot check
+		// above — any commit to the orec postdates the snapshot — but if it
+		// ever did, appending a second entry keeps validation exact.)
+		if i := tx.rsFind(o); i >= 0 && tx.rs[i].ver == versionOf(l1) {
+			return v
 		}
 		tx.rs = append(tx.rs, readEntry{o: o, ver: versionOf(l1)})
 		return v
@@ -373,10 +488,8 @@ func (tx *Tx) Store(addr memory.Addr, v uint64) {
 		tx.wsPut(addr, v, o, ps, modeWB)
 	default: // encounter-time write-through
 		tx.acquire(ps, o, st, ti)
-		if i, ok := tx.wsIndex[addr]; ok {
-			_ = i // undo pre-image already captured on first write
-		} else {
-			tx.wsIndex[addr] = len(tx.ws)
+		if tx.wsFind(addr) < 0 {
+			// First write to addr: capture the undo pre-image.
 			tx.ws = append(tx.ws, writeEntry{
 				addr: addr,
 				old:  tx.eng.arena.LoadAtomic(addr),
@@ -390,11 +503,10 @@ func (tx *Tx) Store(addr memory.Addr, v uint64) {
 }
 
 func (tx *Tx) wsPut(addr memory.Addr, v uint64, o *orec, ps *partState, mode writeMode) {
-	if i, ok := tx.wsIndex[addr]; ok {
+	if i := tx.wsFind(addr); i >= 0 {
 		tx.ws[i].val = v
 		return
 	}
-	tx.wsIndex[addr] = len(tx.ws)
 	tx.ws = append(tx.ws, writeEntry{addr: addr, val: v, o: o, ps: ps, mode: mode})
 }
 
@@ -442,7 +554,7 @@ func (tx *Tx) drainReaders(ps *partState, o *orec, st *PartThreadStats) {
 		}
 		if ps.cfg.ReaderCM == WriterKillsReaders {
 			for r != 0 {
-				s := trailingZeros(r)
+				s := bits.TrailingZeros64(r)
 				r &^= uint64(1) << uint(s)
 				if other := tx.eng.threadBySlot(s); other != nil && other != tx.th {
 					other.kill()
@@ -467,15 +579,6 @@ func (tx *Tx) drainReaders(ps *partState, o *orec, st *PartThreadStats) {
 		}
 		tx.checkKilled()
 	}
-}
-
-func trailingZeros(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }
 
 // cmConflict arbitrates a lock conflict per the partition's CM policy. It
@@ -540,19 +643,18 @@ func (tx *Tx) cmConflict(ps *partState, o *orec, l uint64, cause AbortCause, spi
 			tx.abort(cause)
 		}
 		// Randomized exponential pause: busy-wait a jittered
-		// 2^min(spins,10)-bounded number of cycles between probes of the
-		// lock word, so hot orecs see far fewer cache-line reads. The
-		// pause is pure spinning; yield to the scheduler only once per
-		// long pause (a Gosched per iteration costs more than the lock
-		// hold times it waits out).
+		// 2^min(spins,10)-bounded number of spin quanta between probes of
+		// the lock word, so hot orecs see far fewer cache-line reads. The
+		// pause is pure spinning (spinWait — a real pause the compiler
+		// cannot delete); yield to the scheduler only once per long pause
+		// (a Gosched per iteration costs more than the lock hold times it
+		// waits out).
 		shift := *spins
 		if shift > 10 {
 			shift = 10
 		}
 		pause := tx.th.nextRand() & ((uint64(1) << uint(shift)) - 1)
-		for i := uint64(0); i < pause; i++ {
-			_ = i
-		}
+		spinWait(pause)
 		if pause > 256 {
 			runtime.Gosched()
 		}
@@ -599,6 +701,12 @@ func (tx *Tx) extend() bool {
 	if tx.pl {
 		return tx.extendPartitionLocal()
 	}
+	// No "clock unchanged" short-circuit here: every extension trigger has
+	// already observed a version above the snapshot, and versions never
+	// exceed the clock, so the fresh sample always postdates the snapshot.
+	// The reachable form of that optimization lives at commit time
+	// (assignWriteVersions), where validation is skipped when no foreign
+	// commit has landed in the footprint.
 	now := tx.tb.Now(0)
 	if !tx.validate() {
 		return false
@@ -624,6 +732,11 @@ func (tx *Tx) extendPartitionLocal() bool {
 	for i := range tx.touched {
 		s[i] = tx.tb.Now(uint32(tx.touched[i].p.id))
 	}
+	// As in extend, a "counters and epoch unchanged" short-circuit would be
+	// dead code here: every caller (alignFootprint's dirty path, a version
+	// above a per-partition snapshot) has already observed monotone clock
+	// state past the anchors. Commit-time validation has the reachable
+	// equivalent (assignWriteVersions).
 	if !tx.validate() {
 		return false
 	}
@@ -661,11 +774,11 @@ func (tx *Tx) validate() bool {
 	return true
 }
 
+// prevFor returns the pre-acquisition lock word of an orec this
+// transaction holds (O(1) via the lock-set index for large lock sets).
 func (tx *Tx) prevFor(o *orec) (uint64, bool) {
-	for i := range tx.locks {
-		if tx.locks[i].o == o {
-			return tx.locks[i].prev, true
-		}
+	if i := tx.lkFind(o); i >= 0 {
+		return tx.locks[i].prev, true
 	}
 	return 0, false
 }
@@ -724,14 +837,20 @@ func (tx *Tx) commit() {
 // Under the global time base the classic TL2 rule applies: skip
 // validation only when the single counter moved exactly one past our
 // snapshot (no foreign commit in between). Under the partition-local time
-// base the same rule applies per partition, but only when the whole
-// footprint is one partition; a footprint spanning partitions must
-// validate at the commit point, because its per-partition snapshots were
-// anchored at the last alignment, which other partitions' commits may
-// postdate. The time base is invoked while every write lock is held and
-// before any is released, so the cross-partition epoch bump is visible
-// before the new versions are (the ordering the alignment check relies
-// on).
+// base the rule generalizes per partition across the whole footprint: all
+// per-partition snapshots are anchored at one common instant (begin,
+// alignFootprint, extension), and an orec can only change when a commit
+// ticks its partition's counter — so if every written partition's assigned
+// version is exactly one past its snapshot (our own tick) and every
+// read-only touched partition's counter still equals its snapshot, no
+// foreign commit has landed anywhere in the footprint since the anchor and
+// the read set is trivially valid at the commit point. The counters are
+// sampled while every write lock is held and a writer ticks before it
+// publishes versions, so a foreign commit that escapes the sample
+// serializes after this one. The time base is invoked while every write
+// lock is held and before any is released, so the cross-partition epoch
+// bump is visible before the new versions are (the ordering the alignment
+// check relies on).
 func (tx *Tx) assignWriteVersions() bool {
 	if !tx.pl {
 		// Global counter: one tick covers every lock regardless of
@@ -765,22 +884,40 @@ func (tx *Tx) assignWriteVersions() bool {
 	}
 	tx.commitWV = tx.commitWV[:n]
 	tx.tb.Commit(tx.commitParts, tx.commitWV)
-	if len(tx.touched) == 1 && n == 1 {
-		return tx.commitWV[0] > tx.touched[0].snap+1
+	// Mirror the versions into a pid-indexed table so the release loop
+	// looks each lock's version up in O(1) (wvFor). Stale entries from
+	// earlier commits are harmless: wvFor is only asked about partitions
+	// registered by this commit, which were just overwritten.
+	if len(tx.wvByPid) < len(tx.topo.parts) {
+		tx.wvByPid = make([]uint64, len(tx.topo.parts))
 	}
-	return true
+	for i, pid := range tx.commitParts {
+		tx.wvByPid[pid] = tx.commitWV[i]
+	}
+	for i := range tx.touched {
+		pid := uint32(tx.touched[i].p.id)
+		written := false
+		for _, q := range tx.commitParts {
+			if q == pid {
+				written = true
+				break
+			}
+		}
+		if written {
+			if tx.wvByPid[pid] != tx.touched[i].snap+1 {
+				return true
+			}
+		} else if tx.tb.Now(pid) != tx.touched[i].snap {
+			return true
+		}
+	}
+	return false
 }
 
 // wvFor returns the write version assigned to partition pid by
 // assignWriteVersions.
 func (tx *Tx) wvFor(pid PartID) uint64 {
-	for i, q := range tx.commitParts {
-		if q == uint32(pid) {
-			return tx.commitWV[i]
-		}
-	}
-	// Unreachable: every lock's partition is registered before release.
-	return tx.commitWV[0]
+	return tx.wvByPid[pid]
 }
 
 // acquireAtCommit locks a CTL entry's orec, deduplicating entries that
@@ -868,9 +1005,6 @@ func (tx *Tx) finish(committed bool) {
 	tx.allocs = tx.allocs[:0]
 	tx.frees = tx.frees[:0]
 	tx.touched = tx.touched[:0]
-	if len(tx.wsIndex) > 0 {
-		clear(tx.wsIndex)
-	}
 }
 
 // Alloc allocates a fresh object of n words at the given allocation site.

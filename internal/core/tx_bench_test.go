@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// BenchmarkWriteSetProbe compares the transaction's hybrid write-set
+// lookup (inline linear probe for small sets, generation-stamped
+// open-addressed index beyond) against the Go map the write set used to
+// carry. Acceptance: the hybrid must at least match the map on small sets
+// and beat it on large ones.
+func BenchmarkWriteSetProbe(b *testing.B) {
+	for _, n := range []int{4, 8, 64, 1024} {
+		keys := make([]memory.Addr, n)
+		for i := range keys {
+			keys[i] = memory.Addr(i*8 + 16)
+		}
+		b.Run(fmt.Sprintf("table/%d", n), func(b *testing.B) {
+			tx := &Tx{}
+			tx.ws = tx.ws[:0]
+			tx.wsIdx.reset()
+			tx.wsIndexed = 0
+			for i, k := range keys {
+				if tx.wsFind(k) < 0 {
+					tx.ws = append(tx.ws, writeEntry{addr: k, val: uint64(i)})
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if tx.wsFind(keys[i%n]) < 0 {
+					b.Fatal("missing key")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("gomap/%d", n), func(b *testing.B) {
+			m := make(map[memory.Addr]int, 64)
+			for i, k := range keys {
+				m[k] = i
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := m[keys[i%n]]; !ok {
+					b.Fatal("missing key")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRepeatedReadTx measures a read-only transaction that sweeps a
+// fixed footprint of 64 words `passes` times. With read-set
+// deduplication, per-load cost must stay flat (or fall, as the fixed
+// begin/commit cost amortizes) as the loads multiply — the read set and
+// the validation work are bounded by the footprint.
+func BenchmarkRepeatedReadTx(b *testing.B) {
+	const words = 64
+	e := newTestEngine(b, DefaultPartConfig())
+	th := e.MustAttachThread()
+	defer e.DetachThread(th)
+	var base memory.Addr
+	th.Atomic(func(tx *Tx) {
+		base = tx.Alloc(memory.SiteID(0), words)
+		for i := 0; i < words; i++ {
+			tx.Store(base+memory.Addr(i), uint64(i))
+		}
+	})
+	for _, passes := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("passes=%d", passes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				th.ReadOnlyAtomic(func(tx *Tx) {
+					var sink uint64
+					for p := 0; p < passes; p++ {
+						for j := 0; j < words; j++ {
+							sink += tx.Load(base + memory.Addr(j))
+						}
+					}
+					_ = sink
+				})
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*passes*words), "ns/load")
+		})
+	}
+}
+
+// BenchmarkWideWriteTx measures update transactions across write-set
+// sizes spanning the inline-probe and indexed regimes, in all three write
+// modes.
+func BenchmarkWideWriteTx(b *testing.B) {
+	modes := []struct {
+		name string
+		mut  func(*PartConfig)
+	}{
+		{"wb", func(c *PartConfig) {}},
+		{"wt", func(c *PartConfig) { c.Write = WriteThrough }},
+		{"ctl", func(c *PartConfig) { c.Acquire = CommitTime }},
+	}
+	for _, m := range modes {
+		for _, n := range []int{4, 64, 512} {
+			b.Run(fmt.Sprintf("%s/writes=%d", m.name, n), func(b *testing.B) {
+				cfg := DefaultPartConfig()
+				m.mut(&cfg)
+				e := newTestEngine(b, cfg)
+				th := e.MustAttachThread()
+				defer e.DetachThread(th)
+				var base memory.Addr
+				th.Atomic(func(tx *Tx) {
+					base = tx.Alloc(memory.SiteID(0), n)
+					for i := 0; i < n; i++ {
+						tx.Store(base+memory.Addr(i), 0)
+					}
+				})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					th.Atomic(func(tx *Tx) {
+						for j := 0; j < n; j++ {
+							tx.Store(base+memory.Addr(j), uint64(i+j))
+						}
+					})
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/store")
+			})
+		}
+	}
+}
+
+// BenchmarkSpinWait pins the cost of one spin quantum so backoff tuning
+// has a number to reason about.
+func BenchmarkSpinWait(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spinWait(64)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64), "ns/quantum")
+}

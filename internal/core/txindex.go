@@ -1,0 +1,129 @@
+package core
+
+import "unsafe"
+
+// txIndex is a small open-addressed hash table mapping a uint64 key (a
+// heap address or an orec's pointer bits) to a position in one of the
+// transaction's bookkeeping slices (read set, write set, lock set). It is
+// the footprint-bounding replacement for both the per-attempt Go map the
+// write set used to carry and the linear scans the read set forced on
+// every lookup.
+//
+// Slots are generation-stamped: reset is O(1) (bump the generation), so
+// one table is reused across every attempt of a thread's lifetime without
+// clearing. The table stores no pointers — orec keys are pointer bits used
+// purely as hash identity; the referenced orecs are kept alive by the
+// entries of the slice the index points into (and orec tables are only
+// replaced under quiescence, never mid-attempt, so the bits stay valid for
+// as long as a generation lives).
+//
+// Callers pair the table with an inline linear scan for small sets (see
+// rsFind/wsFind/lkFind in tx.go): probing a table only beats scanning a
+// handful of entries once the set has outgrown a cache line or two.
+type txIndex struct {
+	keys []uint64
+	vals []int32
+	gens []uint64
+	// gen is the current generation; a slot is live iff its gens entry
+	// matches.
+	gen   uint64
+	n     int    // live slots in the current generation
+	mask  uint64 // len(keys)-1
+	shift uint   // 64 - log2(len(keys)); hash uses the high multiply bits
+}
+
+// hashMul is the 64-bit Fibonacci multiplier; the high bits of key*hashMul
+// are well mixed even for sequential addresses and pointer-aligned keys.
+const hashMul = 0x9E3779B97F4A7C15
+
+const txIndexInitialSize = 64
+
+// orecKey converts an orec pointer into an index key. Go's collector does
+// not move heap objects, and the orec outlives the generation (see the
+// type comment), so the pointer bits are a stable identity.
+func orecKey(o *orec) uint64 { return uint64(uintptr(unsafe.Pointer(o))) }
+
+// reset invalidates every entry in O(1).
+func (t *txIndex) reset() {
+	t.gen++
+	t.n = 0
+}
+
+// get returns the value stored for k, or -1.
+func (t *txIndex) get(k uint64) int {
+	if t.n == 0 {
+		return -1
+	}
+	i := (k * hashMul) >> t.shift
+	for {
+		if t.gens[i] != t.gen {
+			return -1
+		}
+		if t.keys[i] == k {
+			return int(t.vals[i])
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// put inserts or overwrites the value for k.
+func (t *txIndex) put(k uint64, v int32) {
+	if len(t.keys) == 0 || t.n >= (len(t.keys)/4)*3 {
+		t.grow()
+	}
+	i := (k * hashMul) >> t.shift
+	for {
+		if t.gens[i] != t.gen {
+			t.keys[i], t.vals[i], t.gens[i] = k, v, t.gen
+			t.n++
+			return
+		}
+		if t.keys[i] == k {
+			t.vals[i] = v
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles capacity (or allocates the initial table) and rehashes the
+// live generation.
+func (t *txIndex) grow() {
+	newCap := txIndexInitialSize
+	if len(t.keys) > 0 {
+		newCap = len(t.keys) * 2
+	}
+	oldKeys, oldVals, oldGens := t.keys, t.vals, t.gens
+	oldGen := t.gen
+	t.keys = make([]uint64, newCap)
+	t.vals = make([]int32, newCap)
+	t.gens = make([]uint64, newCap)
+	t.mask = uint64(newCap) - 1
+	t.shift = 64
+	for c := newCap; c > 1; c >>= 1 {
+		t.shift--
+	}
+	// Fresh arrays have gens all zero; restart the generation at 1 so no
+	// stale slot can alias it.
+	t.gen = 1
+	t.n = 0
+	for i := range oldKeys {
+		if oldGens[i] == oldGen {
+			t.reinsert(oldKeys[i], oldVals[i])
+		}
+	}
+}
+
+// reinsert is put without the growth check (capacity is already sufficient
+// during a rehash).
+func (t *txIndex) reinsert(k uint64, v int32) {
+	i := (k * hashMul) >> t.shift
+	for {
+		if t.gens[i] != t.gen {
+			t.keys[i], t.vals[i], t.gens[i] = k, v, t.gen
+			t.n++
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import "testing"
+
+func TestTxIndexBasics(t *testing.T) {
+	var idx txIndex
+	idx.reset()
+	if got := idx.get(42); got != -1 {
+		t.Fatalf("empty get = %d, want -1", got)
+	}
+	// Insert well past several growth rounds; sequential keys stress the
+	// hash's distribution of aligned addresses.
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		idx.put(uint64(i)*8, int32(i))
+	}
+	for i := 0; i < n; i++ {
+		if got := idx.get(uint64(i) * 8); got != i {
+			t.Fatalf("get(%d) = %d, want %d", i*8, got, i)
+		}
+	}
+	if got := idx.get(n * 8); got != -1 {
+		t.Fatalf("missing key = %d, want -1", got)
+	}
+	// Overwrite semantics.
+	idx.put(0, 77)
+	if got := idx.get(0); got != 77 {
+		t.Fatalf("overwrite get = %d, want 77", got)
+	}
+	// O(1) reset invalidates everything.
+	idx.reset()
+	for _, k := range []uint64{0, 8, 16, (n - 1) * 8} {
+		if got := idx.get(k); got != -1 {
+			t.Fatalf("get(%d) after reset = %d, want -1", k, got)
+		}
+	}
+	// The table is reusable after reset.
+	idx.put(123, 9)
+	if got := idx.get(123); got != 9 {
+		t.Fatalf("post-reset get = %d, want 9", got)
+	}
+	if got := idx.get(124); got != -1 {
+		t.Fatalf("post-reset missing key = %d, want -1", got)
+	}
+}
+
+// TestTxIndexManyGenerations checks that generation stamping never lets a
+// stale entry from a previous generation leak into a later one.
+func TestTxIndexManyGenerations(t *testing.T) {
+	var idx txIndex
+	for gen := 0; gen < 200; gen++ {
+		idx.reset()
+		// Each generation uses a disjoint key range; any stale hit from an
+		// earlier generation would return a wrong value for a missing key.
+		lo := uint64(gen * 16)
+		for i := uint64(0); i < 16; i++ {
+			if got := idx.get(lo + i); got != -1 {
+				t.Fatalf("gen %d: stale hit for %d = %d", gen, lo+i, got)
+			}
+			idx.put(lo+i, int32(i))
+		}
+		for i := uint64(0); i < 16; i++ {
+			if got := idx.get(lo + i); got != int(i) {
+				t.Fatalf("gen %d: get(%d) = %d, want %d", gen, lo+i, got, i)
+			}
+		}
+	}
+}

@@ -103,6 +103,7 @@ func All() []Experiment {
 		{"fig10", "Extension applications (genome, kmeans)", Fig10},
 		{"fig11", "Long transactions (labyrinth): contention-management policies", Fig11},
 		{"clockscale", "Commit-clock scaling: global vs partition-local time bases", ClockScale},
+		{"rsdedup", "Footprint-bounded bookkeeping: validate cost vs loads executed", RsDedup},
 	}
 }
 
