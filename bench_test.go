@@ -77,6 +77,49 @@ func BenchmarkClockScale(b *testing.B) { runExperiment(b, "clockscale") }
 // write modes.
 func BenchmarkRsDedup(b *testing.B) { runExperiment(b, "rsdedup") }
 
+// BenchmarkContend sweeps contention-management policies over a
+// contended scan+transfer mix across threads.
+func BenchmarkContend(b *testing.B) { runExperiment(b, "contend") }
+
+// BenchmarkMVScan exercises the multi-version snapshot store: abort-free
+// read-only scans against saturating writers, and the commit-path append
+// price.
+func BenchmarkMVScan(b *testing.B) { runExperiment(b, "mvscan") }
+
+// BenchmarkSnapshotAppend measures the commit-path cost the snapshot
+// store adds to a small update transaction, against the store-less
+// baseline (the regression tripwire for "free when off").
+func BenchmarkSnapshotAppend(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		hist uint
+	}{
+		{"hist-off", 0},
+		{"hist-1k", 1 << 10},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			rt := stm.MustNew(stm.Config{HeapWords: 1 << 16, SnapshotHistory: c.hist})
+			th := rt.MustAttach()
+			defer rt.Detach(th)
+			var a stm.Addr
+			th.Atomic(func(tx *stm.Tx) {
+				a = tx.Alloc(stm.SiteID(0), 4)
+				for i := 0; i < 4; i++ {
+					tx.Store(a+stm.Addr(i), 0)
+				}
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th.Atomic(func(tx *stm.Tx) {
+					for j := 0; j < 4; j++ {
+						tx.Store(a+stm.Addr(j), tx.Load(a+stm.Addr(j))+1)
+					}
+				})
+			}
+		})
+	}
+}
+
 // --- primitive-cost micro-benchmarks ---
 
 // BenchmarkUncontendedIncrement measures the base cost of a minimal

@@ -1,0 +1,79 @@
+// Command benchdiff compares two BENCH_SMOKE.json artifacts (as produced
+// by the CI bench-smoke step) and exits nonzero when any benchmark
+// regressed by more than the threshold factor — the trajectory guard that
+// keeps the published bench numbers comparable across runs.
+//
+// Usage:
+//
+//	benchdiff old.json new.json            # fail on >2x regressions
+//	benchdiff -threshold 1.5 old.json new.json
+//
+// Benchmarks present in only one artifact are ignored (bench sets drift
+// as the suite grows); only matched names are compared, by ns/op.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// smokeArtifact mirrors the JSON written by the CI bench-smoke step.
+type smokeArtifact struct {
+	Generated string `json:"generated"`
+	Commit    string `json:"commit"`
+	Root      string `json:"root"`
+	Core      string `json:"core"`
+}
+
+func load(path string) (map[string]float64, *smokeArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var a smokeArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := bench.ParseGoBench(a.Root)
+	for k, v := range bench.ParseGoBench(a.Core) {
+		m[k] = v
+	}
+	if len(m) == 0 {
+		return nil, nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return m, &a, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 2.0, "fail when new/old ns/op exceeds this factor")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 2.0] old.json new.json")
+		os.Exit(2)
+	}
+	oldM, oldA, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newM, newA, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("old: %s (%s)\nnew: %s (%s)\n\n", oldA.Commit, oldA.Generated, newA.Commit, newA.Generated)
+	rows := bench.CompareBench(oldM, newM, *threshold)
+	if len(rows) == 0 {
+		fmt.Println("no benchmarks in common; nothing to compare")
+		return
+	}
+	out, breached := bench.FormatComparison(rows, *threshold)
+	fmt.Print(out)
+	if breached {
+		os.Exit(1)
+	}
+}

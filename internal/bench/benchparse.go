@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseGoBench extracts ns/op figures from `go test -bench` output text:
+// one entry per benchmark line, keyed by the full benchmark name
+// (including sub-benchmark path and -N GOMAXPROCS suffix). Non-benchmark
+// lines are ignored, so the whole captured stdout of a bench run can be
+// fed in unfiltered.
+func ParseGoBench(text string) map[string]float64 {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8   100   1234 ns/op   [extra metrics...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err == nil {
+				out[fields[0]] = v
+			}
+			break
+		}
+	}
+	return out
+}
+
+// Regression is one benchmark whose new ns/op exceeds the old by more
+// than the comparison threshold.
+type Regression struct {
+	Name     string
+	OldNsOp  float64
+	NewNsOp  float64
+	Factor   float64 // NewNsOp / OldNsOp
+	Breached bool    // Factor > threshold
+}
+
+// CompareBench matches benchmarks present in both maps and returns one
+// row per match, sorted by slowdown factor (worst first). Benchmarks
+// present in only one run are skipped: artifact sets drift as benches are
+// added, and a diff tool that fails on drift would just be disabled.
+func CompareBench(old, new map[string]float64, threshold float64) []Regression {
+	var rows []Regression
+	for name, o := range old {
+		n, ok := new[name]
+		if !ok || o <= 0 {
+			continue
+		}
+		f := n / o
+		rows = append(rows, Regression{
+			Name:     name,
+			OldNsOp:  o,
+			NewNsOp:  n,
+			Factor:   f,
+			Breached: f > threshold,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Factor > rows[j].Factor })
+	return rows
+}
+
+// FormatComparison renders the comparison as an aligned table and
+// reports whether any row breached the threshold.
+func FormatComparison(rows []Regression, threshold float64) (string, bool) {
+	var b strings.Builder
+	breached := false
+	fmt.Fprintf(&b, "%-60s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "factor")
+	for _, r := range rows {
+		mark := ""
+		if r.Breached {
+			mark = "  << REGRESSION"
+			breached = true
+		}
+		fmt.Fprintf(&b, "%-60s %12.1f %12.1f %7.2fx%s\n", r.Name, r.OldNsOp, r.NewNsOp, r.Factor, mark)
+	}
+	if breached {
+		fmt.Fprintf(&b, "\nFAIL: at least one benchmark regressed by more than %.1fx\n", threshold)
+	}
+	return b.String(), breached
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkUncontendedIncrement/etl-wb-8         	     100	      1200 ns/op
+BenchmarkUncontendedIncrement/ctl-8            	     100	      1500 ns/op	 123 B/op	       2 allocs/op
+BenchmarkWriteSetProbe-8                       	     100	       800 ns/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseGoBench(t *testing.T) {
+	got := ParseGoBench(sampleBench)
+	want := map[string]float64{
+		"BenchmarkUncontendedIncrement/etl-wb-8": 1200,
+		"BenchmarkUncontendedIncrement/ctl-8":    1500,
+		"BenchmarkWriteSetProbe-8":               800,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d entries, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestCompareBenchFlagsRegressions(t *testing.T) {
+	old := map[string]float64{"A-8": 100, "B-8": 100, "OnlyOld-8": 50}
+	new := map[string]float64{"A-8": 150, "B-8": 250, "OnlyNew-8": 10}
+	rows := CompareBench(old, new, 2.0)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2 (unmatched benches skipped): %v", len(rows), rows)
+	}
+	if rows[0].Name != "B-8" || !rows[0].Breached {
+		t.Fatalf("worst row = %+v, want breached B-8", rows[0])
+	}
+	if rows[1].Name != "A-8" || rows[1].Breached {
+		t.Fatalf("second row = %+v, want unbreached A-8", rows[1])
+	}
+	out, breached := FormatComparison(rows, 2.0)
+	if !breached || !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("formatted output missed the breach:\n%s", out)
+	}
+	okRows := CompareBench(old, map[string]float64{"A-8": 110, "B-8": 90}, 2.0)
+	if out, breached := FormatComparison(okRows, 2.0); breached {
+		t.Fatalf("false positive:\n%s", out)
+	}
+}

@@ -23,6 +23,28 @@
 // assignment, stress-test clock jumps — through it. "Who owns time" is
 // thereby a per-engine policy that the runtime tuner can switch under
 // quiescence instead of a hard-coded global.
+//
+// # Snapshot pinning
+//
+// Snapshot read-only transactions (core's SnapshotAtomic) pin the instant
+// they read at and reconstruct overwritten values from the multi-version
+// store instead of extending. Both time bases support pinning through the
+// same two properties, which they must preserve:
+//
+//   - Coverage: a Begin/Now sample is at or above every version already
+//     published in the sampled timeline, so a fresh pin never needs
+//     reconstruction for values that predate it.
+//   - Monotonicity: counters never move backwards (Commit, Advance,
+//     Resize, and mode migration via NewAt all only increase readings),
+//     so a pinned snapshot S stays meaningful for the whole transaction:
+//     any later commit's version is strictly above S, which is exactly
+//     the "orec newer than the snapshot" signal that routes a read to the
+//     store.
+//
+// Under GlobalCounter the pin is the single Begin() sample; under
+// PartitionLocal each touched partition is pinned by its own Now(part)
+// sample, with the engine's footprint alignment ensuring all pins
+// correspond to one common instant.
 package clock
 
 import (

@@ -127,3 +127,46 @@ func TestModeString(t *testing.T) {
 		t.Fatal("mode strings")
 	}
 }
+
+// TestSnapshotPinningProperties checks the two contracts snapshot
+// pinning (core's SnapshotAtomic) relies on, for both time bases:
+// a Begin/Now sample covers every version already published (coverage),
+// and no sequence of commits ever moves a counter below a pin taken
+// earlier (monotonicity) — any commit after the pin lands strictly above
+// it.
+func TestSnapshotPinningProperties(t *testing.T) {
+	for _, mode := range []Mode{ModeGlobal, ModePartitionLocal} {
+		tb := New(mode, 3)
+		wv := make([]uint64, 1)
+		// Publish some versions in partition 1.
+		for i := 0; i < 5; i++ {
+			tb.Commit([]uint32{1}, wv)
+		}
+		published := wv[0]
+		// Coverage: a pin taken now is at or above everything published.
+		pin := tb.Now(1)
+		if pin < published {
+			t.Fatalf("%v: pin %d below published version %d", mode, pin, published)
+		}
+		if g := tb.Begin(); mode == ModeGlobal && g < published {
+			t.Fatalf("%v: Begin %d below published version %d", mode, g, published)
+		}
+		// Monotonicity: every later commit is strictly above the pin, and
+		// the pinned timeline never reads below the pin afterwards.
+		for i := 0; i < 5; i++ {
+			tb.Commit([]uint32{1}, wv)
+			if wv[0] <= pin {
+				t.Fatalf("%v: commit version %d not above pin %d", mode, wv[0], pin)
+			}
+			if now := tb.Now(1); now < pin {
+				t.Fatalf("%v: timeline moved backwards: %d < pin %d", mode, now, pin)
+			}
+		}
+		// Commits in other partitions never disturb the pinned timeline's
+		// floor either.
+		tb.Commit([]uint32{2}, wv)
+		if now := tb.Now(1); now < pin {
+			t.Fatalf("%v: foreign commit dragged timeline below pin", mode)
+		}
+	}
+}

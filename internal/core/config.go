@@ -27,6 +27,15 @@
 // commit-time validation is skipped when no foreign commit has landed in
 // the footprint (the TL2 rule, generalized per partition). See tx.go and
 // txindex.go.
+//
+// Partitions may additionally retain a bounded multi-version history of
+// overwritten values (PartConfig.HistCap, internal/mvstore). Read-only
+// transactions run in snapshot mode (Engine.SnapshotAtomic) then pin
+// their snapshot and reconstruct any location a writer has since
+// committed over from that history instead of extending or aborting —
+// abort-free read-only transactions under write traffic, degrading to
+// the ordinary validate/extend path when a needed record has been
+// evicted.
 package core
 
 import (
@@ -216,6 +225,14 @@ type PartConfig struct {
 	ReaderCM ReaderPolicy
 	// SpinBudget bounds CM wait loops (iterations).
 	SpinBudget int
+	// HistCap, when nonzero, attaches a multi-version snapshot store of
+	// that many overwrite records to the partition (internal/mvstore):
+	// update commits append the values they overwrite, and read-only
+	// transactions in snapshot mode (Thread.SnapshotAtomic) reconstruct
+	// reads at their pinned snapshot from it instead of extending or
+	// aborting. 0 disables the store (and with it any append cost on the
+	// commit path). Capacity is rounded up to a power of two.
+	HistCap uint
 }
 
 // DefaultPartConfig mirrors TinySTM's defaults: encounter-time locking,
@@ -252,12 +269,19 @@ func (c PartConfig) Normalize() PartConfig {
 	if c.SpinBudget <= 0 {
 		c.SpinBudget = 128
 	}
+	if c.HistCap > 1<<20 {
+		c.HistCap = 1 << 20
+	}
 	return c
 }
 
 // String renders the configuration compactly, e.g.
 // "invisible/encounter/write-back lockBits=16 gran=1 cm=spin".
 func (c PartConfig) String() string {
-	return fmt.Sprintf("%s/%s/%s lockBits=%d gran=%d cm=%s rcm=%s",
+	s := fmt.Sprintf("%s/%s/%s lockBits=%d gran=%d cm=%s rcm=%s",
 		c.Read, c.Acquire, c.Write, c.LockBits, uint64(1)<<c.GranShift, c.CM, c.ReaderCM)
+	if c.HistCap > 0 {
+		s += fmt.Sprintf(" hist=%d", c.HistCap)
+	}
+	return s
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/memory"
+	"repro/internal/mvstore"
 )
 
 // PointerRecorder receives pointer-store events during profiling runs. The
@@ -301,21 +302,27 @@ func (e *Engine) InstallPlan(sitePart []PartID, names []string, cfgs []PartConfi
 		// StatsSnapshot's read of the retired aggregate.
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		oldTopo := e.topo.Load()
 		e.topo.Store(&topology{sitePart: sp, parts: parts})
 		// Counters for new partitions start at the time base's current
 		// ceiling, keeping every partition's timeline monotone across the
 		// install.
 		e.timeBase().Resize(len(parts))
-		// Partition identities change across an install, so per-partition
-		// attribution of the old counters is meaningless — but the history
-		// itself is not. Fold every retired and per-thread counter into one
-		// aggregate carried on the global partition, so engine-wide totals
-		// (and throughput measured across the install) stay monotonic.
-		// Snapshots serialize against this block on mu (StatsSnapshot), so
-		// no reader can observe the swap half-applied.
-		var carry PartStats
+		// A partition's identity is its site membership. When a new
+		// partition owns exactly the sites an old one did, its history is
+		// still attributable and is carried over onto the new PartID
+		// (site-keyed carryover); everything else — the old global
+		// partition, and partitions whose membership changed — folds into
+		// the global partition's retired aggregate. Either way every
+		// counter survives, so engine-wide totals (and throughput measured
+		// across the install) stay monotonic. Snapshots serialize against
+		// this block on mu (StatsSnapshot), so no reader can observe the
+		// swap half-applied.
+		oldTotals := make([]PartStats, len(oldTopo.parts))
 		for i := range e.retired {
-			carry.add(&e.retired[i])
+			if i < len(oldTotals) {
+				oldTotals[i].add(&e.retired[i])
+			}
 		}
 		for i := range e.threads {
 			th := e.threads[i].Load()
@@ -325,17 +332,62 @@ func (e *Engine) InstallPlan(sitePart []PartID, names []string, cfgs []PartConfi
 			old := *th.stats.Load()
 			fresh := make([]PartThreadStats, len(parts))
 			th.stats.Store(&fresh)
-			var folded PartStats
 			for p := range old {
-				old[p].accumulateInto(&folded)
+				if p < len(oldTotals) {
+					old[p].accumulateInto(&oldTotals[p])
+				}
 			}
-			carry.add(&folded)
 		}
-		e.retired = make([]PartStats, len(parts))
-		carry.Part = GlobalPartition
-		e.retired[GlobalPartition] = carry
+		oldSig := siteSignatures(oldTopo.sitePart, len(oldTopo.parts))
+		newSig := siteSignatures(sp, len(parts))
+		carried := make([]bool, len(oldTotals))
+		retired := make([]PartStats, len(parts))
+		for newPid := 1; newPid < len(parts); newPid++ {
+			sig := newSig[newPid]
+			if sig == "" {
+				continue // partition with no sites: no identity to match
+			}
+			for oldPid := 1; oldPid < len(oldTotals); oldPid++ {
+				if !carried[oldPid] && oldSig[oldPid] == sig {
+					retired[newPid].add(&oldTotals[oldPid])
+					carried[oldPid] = true
+					break
+				}
+			}
+		}
+		var carry PartStats
+		for oldPid := range oldTotals {
+			if oldPid == 0 || !carried[oldPid] {
+				carry.add(&oldTotals[oldPid])
+			}
+		}
+		retired[GlobalPartition].add(&carry)
+		for i := range retired {
+			retired[i].Part = PartID(i)
+		}
+		e.retired = retired
 	})
 	return nil
+}
+
+// siteSignatures returns, for each partition id, a canonical encoding of
+// the site set assigned to it by sitePart ("" for the global partition
+// and for partitions owning no sites). Two partitions across a plan
+// install are the same logical partition exactly when their signatures
+// match.
+func siteSignatures(sitePart []PartID, nparts int) []string {
+	var bufs = make([][]byte, nparts)
+	for s, p := range sitePart {
+		if p == GlobalPartition || int(p) >= nparts {
+			continue
+		}
+		bufs[p] = fmt.Appendf(bufs[p], "%d,", s)
+	}
+	out := make([]string, nparts)
+	for i, b := range bufs {
+		out[i] = string(b)
+	}
+	return out
 }
 
 // Reconfigure atomically replaces one partition's configuration (and its
@@ -349,12 +401,7 @@ func (e *Engine) Reconfigure(id PartID, cfg PartConfig) error {
 	cfg = cfg.Normalize()
 	e.quiesce(func() {
 		old := p.state.Load()
-		p.state.Store(&partState{
-			cfg:   cfg,
-			table: newOrecTable(cfg.LockBits, cfg.GranShift),
-			gen:   old.gen + 1,
-			part:  p,
-		})
+		p.state.Store(newPartState(p, cfg, old.gen+1))
 	})
 	return nil
 }
@@ -424,6 +471,23 @@ func (e *Engine) StatsSnapshot(id PartID) PartStats {
 	return out
 }
 
+// SnapshotHistory returns a momentary reading of partition id's
+// multi-version store: capacity, total appends, live records and the
+// retained version span ("retention depth"). The zero Stats is returned
+// for unknown partitions and for partitions with no store configured
+// (HistCap == 0).
+func (e *Engine) SnapshotHistory(id PartID) mvstore.Stats {
+	p := e.Partition(id)
+	if p == nil {
+		return mvstore.Stats{}
+	}
+	st := p.loadState()
+	if st.hist == nil {
+		return mvstore.Stats{}
+	}
+	return st.hist.Stats()
+}
+
 // AllStats returns a snapshot for every partition.
 func (e *Engine) AllStats() []PartStats {
 	t := e.topo.Load()
@@ -437,36 +501,51 @@ func (e *Engine) AllStats() []PartStats {
 // Atomic runs fn transactionally on thread th, retrying with randomized
 // exponential backoff until the transaction commits.
 func (e *Engine) Atomic(th *Thread, fn func(*Tx)) {
-	e.run(th, false, func(tx *Tx) error { fn(tx); return nil })
+	e.run(th, false, false, func(tx *Tx) error { fn(tx); return nil })
 }
 
 // AtomicErr runs fn transactionally; if fn returns a non-nil error the
 // transaction aborts (all effects discarded) and the error is returned.
 func (e *Engine) AtomicErr(th *Thread, fn func(*Tx) error) error {
-	return e.run(th, false, fn)
+	return e.run(th, false, false, fn)
 }
 
 // readOnlyAtomic runs fn with the read-only fast path; it upgrades to an
 // update transaction transparently if fn writes.
 func (e *Engine) readOnlyAtomic(th *Thread, fn func(*Tx)) {
-	e.run(th, true, func(tx *Tx) error { fn(tx); return nil })
+	e.run(th, true, false, func(tx *Tx) error { fn(tx); return nil })
 }
 
-func (e *Engine) run(th *Thread, readOnly bool, fn func(*Tx) error) error {
+// SnapshotAtomic runs fn as a snapshot read-only transaction: the
+// snapshot is pinned at the first access and reads of locations that
+// writers have since overwritten are reconstructed from the touched
+// partitions' multi-version stores (PartConfig.HistCap), so the
+// transaction neither extends nor validates — under sufficient retention
+// it commits without ever aborting, regardless of concurrent writers. A
+// partition without a store (or an evicted record) degrades to the
+// ordinary validate/extend read path; a write inside fn upgrades to a
+// normal update transaction, as in ReadOnlyAtomic.
+func (e *Engine) SnapshotAtomic(th *Thread, fn func(*Tx)) {
+	e.run(th, true, true, func(tx *Tx) error { fn(tx); return nil })
+}
+
+func (e *Engine) run(th *Thread, readOnly, snap bool, fn func(*Tx) error) error {
 	tx := &th.tx
 	th.beginSeq.Store(e.txSeq.Add(1))
 	attempt := 0
 	for {
 		attempt++
 		th.enterGate()
-		cause, userErr := e.attempt(tx, th, readOnly, fn)
+		cause, userErr := e.attempt(tx, th, readOnly, snap, fn)
 		th.exitGate()
 		if box := e.tracer.Load(); box != nil {
 			box.t.TraceAttempt(AttemptEvent{
-				Slot:    th.slot,
-				Attempt: attempt,
-				Cause:   cause,
-				Ops:     tx.opCount,
+				Slot:       th.slot,
+				Attempt:    attempt,
+				Cause:      cause,
+				Ops:        tx.opCount,
+				SnapHits:   tx.snapHits,
+				SnapMisses: tx.snapMisses,
 			})
 		}
 		switch {
@@ -476,6 +555,7 @@ func (e *Engine) run(th *Thread, readOnly bool, fn func(*Tx) error) error {
 			return userErr
 		case cause == AbortUpgrade:
 			readOnly = false
+			snap = false
 			continue
 		}
 		e.backoff(th, attempt)
@@ -485,7 +565,7 @@ func (e *Engine) run(th *Thread, readOnly bool, fn func(*Tx) error) error {
 // attempt executes one try of fn. It returns (AbortNone, nil) on commit,
 // (cause, nil) on a conflict abort, and (AbortExplicit, err) when user
 // code aborted with an error.
-func (e *Engine) attempt(tx *Tx, th *Thread, readOnly bool, fn func(*Tx) error) (cause AbortCause, userErr error) {
+func (e *Engine) attempt(tx *Tx, th *Thread, readOnly, snap bool, fn func(*Tx) error) (cause AbortCause, userErr error) {
 	defer func() {
 		if r := recover(); r != nil {
 			sig, ok := r.(abortSignal)
@@ -499,7 +579,7 @@ func (e *Engine) attempt(tx *Tx, th *Thread, readOnly bool, fn func(*Tx) error) 
 			cause = sig.cause
 		}
 	}()
-	tx.begin(readOnly)
+	tx.begin(readOnly, snap)
 	if err := fn(tx); err != nil {
 		tx.rollback(AbortExplicit)
 		return AbortExplicit, err
@@ -519,6 +599,11 @@ type AttemptEvent struct {
 	Cause AbortCause
 	// Ops is the number of transactional operations the attempt executed.
 	Ops uint64
+	// SnapHits and SnapMisses count snapshot-mode reads served from (or
+	// missed by) the multi-version store during the attempt; both are 0
+	// outside snapshot mode.
+	SnapHits   uint64
+	SnapMisses uint64
 }
 
 // TxTracer receives one event per transaction attempt. Implementations

@@ -2,6 +2,8 @@ package core
 
 import (
 	"sync/atomic"
+
+	"repro/internal/mvstore"
 )
 
 // PartID identifies a partition. Partition 0 always exists and is the
@@ -25,6 +27,28 @@ type partState struct {
 	// which the partition-local time base keys its commit counters by —
 	// without re-running the address→partition lookup.
 	part *Partition
+	// hist is the partition's multi-version snapshot store (nil when
+	// cfg.HistCap == 0). It lives in the state, not the partition, because
+	// its records certify value intervals against THIS orec table's version
+	// timeline: a reconfiguration rebuilds the table with versions reset to
+	// 0, so the first commit after it records prevVersion 0 — which would
+	// wrongly cover every older snapshot if stale records survived the
+	// swap. Tying the buffer to the state makes every rebuild start clean.
+	hist *mvstore.Buffer
+}
+
+// newPartState builds a state (config, orec table, snapshot store) for p.
+func newPartState(p *Partition, cfg PartConfig, gen uint64) *partState {
+	st := &partState{
+		cfg:   cfg,
+		table: newOrecTable(cfg.LockBits, cfg.GranShift),
+		gen:   gen,
+		part:  p,
+	}
+	if cfg.HistCap > 0 {
+		st.hist = mvstore.New(int(cfg.HistCap))
+	}
+	return st
 }
 
 // Partition is one unit of independent concurrency control.
@@ -36,13 +60,7 @@ type Partition struct {
 
 func newPartition(id PartID, name string, cfg PartConfig) *Partition {
 	p := &Partition{id: id, name: name}
-	cfg = cfg.Normalize()
-	p.state.Store(&partState{
-		cfg:   cfg,
-		table: newOrecTable(cfg.LockBits, cfg.GranShift),
-		gen:   0,
-		part:  p,
-	})
+	p.state.Store(newPartState(p, cfg.Normalize(), 0))
 	return p
 }
 

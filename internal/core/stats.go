@@ -25,6 +25,16 @@ type PartThreadStats struct {
 	// WaitCycles approximates time spent spinning on this partition's
 	// orecs (CM wait-loop iterations).
 	WaitCycles atomic.Uint64
+	// SnapHits counts snapshot-mode reads served from the partition's
+	// multi-version store (a stale orec whose value at the pinned snapshot
+	// was reconstructed instead of extending or aborting).
+	SnapHits atomic.Uint64
+	// SnapMisses counts snapshot-mode reads of a stale orec the store
+	// could not serve — the covering record was evicted, or the partition
+	// has no store at all — forcing the validate/extend fallback. It is
+	// the partition's unserved snapshot demand, the signal the tuner's
+	// AdaptSnapshot heuristic keys on.
+	SnapMisses atomic.Uint64
 }
 
 // accumulateInto adds this block's current counter values into out.
@@ -35,6 +45,8 @@ func (s *PartThreadStats) accumulateInto(out *PartStats) {
 	out.UpdateCommits += s.UpdateCommits.Load()
 	out.ROCommits += s.ROCommits.Load()
 	out.WaitCycles += s.WaitCycles.Load()
+	out.SnapHits += s.SnapHits.Load()
+	out.SnapMisses += s.SnapMisses.Load()
 	for i := range s.Aborts {
 		out.Aborts[i] += s.Aborts[i].Load()
 	}
@@ -51,6 +63,8 @@ type PartStats struct {
 	ROCommits     uint64
 	Aborts        [NumAbortCauses]uint64
 	WaitCycles    uint64
+	SnapHits      uint64
+	SnapMisses    uint64
 }
 
 // add accumulates o's counters into s (identity fields are untouched).
@@ -61,6 +75,8 @@ func (s *PartStats) add(o *PartStats) {
 	s.UpdateCommits += o.UpdateCommits
 	s.ROCommits += o.ROCommits
 	s.WaitCycles += o.WaitCycles
+	s.SnapHits += o.SnapHits
+	s.SnapMisses += o.SnapMisses
 	for i := range s.Aborts {
 		s.Aborts[i] += o.Aborts[i]
 	}
@@ -113,6 +129,8 @@ func (s PartStats) Sub(old PartStats) PartStats {
 	d.UpdateCommits -= old.UpdateCommits
 	d.ROCommits -= old.ROCommits
 	d.WaitCycles -= old.WaitCycles
+	d.SnapHits -= old.SnapHits
+	d.SnapMisses -= old.SnapMisses
 	for i := range d.Aborts {
 		d.Aborts[i] -= old.Aborts[i]
 	}

@@ -114,3 +114,13 @@ func (th *Thread) AtomicErr(fn func(*Tx) error) error { return th.eng.AtomicErr(
 // write the transaction restarts in update mode, so the hint is safe even
 // when occasionally wrong.
 func (th *Thread) ReadOnlyAtomic(fn func(*Tx)) { th.eng.readOnlyAtomic(th, fn) }
+
+// SnapshotAtomic runs fn as a snapshot read-only transaction: reads are
+// answered at a snapshot pinned at the first access, with values that
+// concurrent writers have since overwritten reconstructed from the
+// touched partitions' multi-version stores (PartConfig.HistCap) — so
+// under sufficient retention the transaction never extends, validates or
+// aborts, no matter how heavy the write traffic. Partitions without a
+// store, evicted records, and writes inside fn all degrade gracefully to
+// ReadOnlyAtomic behaviour. See Engine.SnapshotAtomic.
+func (th *Thread) SnapshotAtomic(fn func(*Tx)) { th.eng.SnapshotAtomic(th, fn) }

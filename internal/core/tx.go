@@ -80,6 +80,18 @@ type Tx struct {
 	beginEpoch uint64
 	readOnly   bool
 	hasVisible bool
+	// snapMode marks a snapshot read-only attempt (SnapshotAtomic): the
+	// transaction pins its snapshot and, on encountering an orec newer
+	// than it, reconstructs the value at the snapshot from the partition's
+	// multi-version store (partState.hist) instead of extending. snapHits
+	// counts reconstructed reads this attempt; once nonzero the snapshot
+	// can no longer move (extend refuses), because reconstructed values
+	// are only correct at the pinned instant. snapMisses counts stale
+	// reads the store could not serve (record evicted), which fall back to
+	// the validate/extend path.
+	snapMode   bool
+	snapHits   uint64
+	snapMisses uint64
 	opCount    uint64
 
 	rs      []readEntry
@@ -135,13 +147,25 @@ func (tx *Tx) Snapshot() uint64 { return tx.snapshot }
 // ReadOnly reports whether this attempt runs in read-only mode.
 func (tx *Tx) ReadOnly() bool { return tx.readOnly }
 
+// SnapshotMode reports whether this attempt runs as a snapshot read-only
+// transaction (see Engine.SnapshotAtomic).
+func (tx *Tx) SnapshotMode() bool { return tx.snapMode }
+
+// SnapshotHits reports how many reads of this attempt were reconstructed
+// from a partition's multi-version store (exposed for tests and
+// experiments).
+func (tx *Tx) SnapshotHits() uint64 { return tx.snapHits }
+
 // Thread returns the owning thread.
 func (tx *Tx) Thread() *Thread { return tx.th }
 
-func (tx *Tx) begin(readOnly bool) {
+func (tx *Tx) begin(readOnly, snap bool) {
 	tx.topo = tx.eng.topo.Load()
 	tx.readOnly = readOnly
 	tx.hasVisible = false
+	tx.snapMode = snap && readOnly
+	tx.snapHits = 0
+	tx.snapMisses = 0
 	tx.opCount = 0
 	tx.rs = tx.rs[:0]
 	tx.ws = tx.ws[:0]
@@ -368,7 +392,12 @@ func (tx *Tx) Load(addr memory.Addr) uint64 {
 	}
 
 	o := ps.table.of(addr)
-	if ps.cfg.Read == VisibleReads {
+	// Snapshot-mode reads are invisible by nature regardless of the
+	// partition's read mode: they never validate at commit (they serialize
+	// at the pinned snapshot, not at commit time), so registering in
+	// reader bitmaps would only make writers wait or kill us for no
+	// protocol benefit.
+	if ps.cfg.Read == VisibleReads && !tx.snapMode {
 		tx.hasVisible = true
 		return tx.loadVisible(ps, o, addr, st, ti)
 	}
@@ -382,6 +411,10 @@ func (tx *Tx) Load(addr memory.Addr) uint64 {
 // snapshot mirrored there under the global time base).
 func (tx *Tx) loadInvisible(ps *partState, o *orec, addr memory.Addr, st *PartThreadStats, ti int) uint64 {
 	spins := 0
+	// probedHead caches the store's append counter across spin iterations:
+	// a lookup that missed can only start hitting after a new record lands,
+	// so the O(capacity) scan is repeated only when the counter moved.
+	probedHead := ^uint64(0)
 	for {
 		l1 := o.lock.Load()
 		if isLocked(l1) {
@@ -392,6 +425,32 @@ func (tx *Tx) loadInvisible(ps *partState, o *orec, addr memory.Addr, st *PartTh
 				// own lock. For WT the current value is in memory.
 				return tx.eng.arena.LoadAtomic(addr)
 			}
+			// Snapshot mode: the writer holding this orec cannot change
+			// history at our pinned snapshot. If a retained record covers
+			// the snapshot, read past the lock without waiting; the common
+			// sequence is lock → (writer appends, releases) → our probe
+			// hits on the freshly appended record. Otherwise just wait:
+			// a snapshot reader holds no locks and no reader bits, so no
+			// transaction can ever be waiting on it — waiting out the
+			// owner is deadlock-free and, unlike the contention manager's
+			// bounded spin, never turns a lock conflict into an abort.
+			if tx.snapMode {
+				if ps.hist != nil {
+					if h := ps.hist.Head(); h != probedHead {
+						probedHead = h
+						if hv, ok := tx.snapRead(ps, addr, tx.touched[ti].snap, st); ok {
+							return hv
+						}
+					}
+				}
+				tx.checkKilled()
+				st.WaitCycles.Add(1)
+				spins++
+				if spins&31 == 0 {
+					runtime.Gosched()
+				}
+				continue
+			}
 			tx.cmConflict(ps, o, l1, AbortLockedOnRead, &spins, st)
 			continue
 		}
@@ -401,6 +460,24 @@ func (tx *Tx) loadInvisible(ps *partState, o *orec, addr memory.Addr, st *PartTh
 			continue
 		}
 		if ver := versionOf(l1); ver > tx.touched[ti].snap {
+			// A commit moved the orec past the snapshot. In snapshot mode,
+			// reconstruct the value at the snapshot from the partition's
+			// multi-version store; the covering record exists unless the
+			// ring has evicted it (then fall back to the validate/extend
+			// path — correctness never depends on retention). A miss is
+			// counted whether the record was evicted or no store exists at
+			// all: SnapMisses is the partition's unserved snapshot demand,
+			// which is what the tuner's AdaptSnapshot heuristic keys
+			// attachment and retention growth on.
+			if tx.snapMode {
+				if ps.hist != nil {
+					if hv, ok := tx.snapRead(ps, addr, tx.touched[ti].snap, st); ok {
+						return hv
+					}
+				}
+				st.SnapMisses.Add(1)
+				tx.snapMisses++
+			}
 			if !tx.extend() {
 				tx.abort(AbortValidation)
 			}
@@ -691,13 +768,34 @@ func (tx *Tx) cmConflict(ps *partState, o *orec, l uint64, cause AbortCause, spi
 	}
 }
 
+// snapRead attempts to serve a snapshot-mode read of addr at the pinned
+// partition snapshot from the multi-version store. A hit pins the
+// snapshot for the rest of the attempt (see extend).
+func (tx *Tx) snapRead(ps *partState, addr memory.Addr, snap uint64, st *PartThreadStats) (uint64, bool) {
+	v, ok := ps.hist.ReadAt(uint64(addr), snap)
+	if ok {
+		st.SnapHits.Add(1)
+		tx.snapHits++
+	}
+	return v, ok
+}
+
 // extend attempts a snapshot extension: validate the invisible read set
 // and, on success, move the snapshot(s) forward. The new snapshots are
 // sampled before validating (TL2 order): a commit that lands between the
 // sample and the validation carries a version above the new snapshot, so
 // later reads of it re-trigger extension — validation passing means every
 // read was current at some instant at or after the sample.
+//
+// A snapshot-mode attempt that has already reconstructed reads from the
+// multi-version store (snapHits > 0) refuses extension: those values are
+// correct only at the pinned instant, and moving the snapshot would mix
+// two instants in one read set. The caller then aborts and the retry
+// re-pins a fresher snapshot.
 func (tx *Tx) extend() bool {
+	if tx.snapHits > 0 {
+		return false
+	}
 	if tx.pl {
 		return tx.extendPartitionLocal()
 	}
@@ -811,6 +909,7 @@ func (tx *Tx) commit() {
 			tx.abort(AbortValidation)
 		}
 	}
+	tx.appendHistory()
 	for i := range tx.ws {
 		en := &tx.ws[i]
 		if en.mode != modeWT {
@@ -918,6 +1017,36 @@ func (tx *Tx) assignWriteVersions() bool {
 // assignWriteVersions.
 func (tx *Tx) wvFor(pid PartID) uint64 {
 	return tx.wvByPid[pid]
+}
+
+// appendHistory publishes one multi-version record per written address
+// into each written partition's snapshot store (skipped entirely for
+// partitions with no store). It must run after assignWriteVersions (the
+// records carry this commit's write versions), before write-back (the
+// pre-image of a buffered write is still in memory), and before any lock
+// release (a reader that observes the new orec version must be able to
+// find the record) — i.e. exactly here in the commit sequence.
+func (tx *Tx) appendHistory() {
+	for i := range tx.ws {
+		en := &tx.ws[i]
+		hb := en.ps.hist
+		if hb == nil {
+			continue
+		}
+		prev, ok := tx.prevFor(en.o)
+		if !ok {
+			continue // unreachable: every written orec is in the lock set
+		}
+		old := en.old // WT captured the pre-image at first write
+		if en.mode != modeWT {
+			old = tx.eng.arena.LoadAtomic(en.addr)
+		}
+		wv := tx.commitWV[0]
+		if tx.pl {
+			wv = tx.wvFor(en.ps.part.id)
+		}
+		hb.Append(uint64(en.addr), old, versionOf(prev), wv)
+	}
 }
 
 // acquireAtCommit locks a CTL entry's orec, deduplicating entries that

@@ -104,6 +104,8 @@ func All() []Experiment {
 		{"fig11", "Long transactions (labyrinth): contention-management policies", Fig11},
 		{"clockscale", "Commit-clock scaling: global vs partition-local time bases", ClockScale},
 		{"rsdedup", "Footprint-bounded bookkeeping: validate cost vs loads executed", RsDedup},
+		{"contend", "Contention sweep: read-set extension and CM pauses at scale", Contend},
+		{"mvscan", "Multi-version snapshot store: abort-free read-only scans under writers", MVScan},
 	}
 }
 

@@ -1,0 +1,200 @@
+// Package mvstore implements the multi-version snapshot store: a bounded,
+// per-partition ring buffer of recently overwritten values that lets
+// read-only transactions in snapshot mode (Tx under SnapshotAtomic) read
+// a consistent past state instead of extending their snapshot or aborting
+// when a writer commits under them — the LSA-style payoff of keeping a
+// few recent committed versions around.
+//
+// # Records
+//
+// Every committing update transaction appends one record per written
+// address, while all write locks are held and before any is released:
+//
+//	(addr, prevValue, prevVersion, newVersion)
+//
+// prevValue is the committed value the commit overwrote, prevVersion is
+// the covering ownership record's version before the commit, and
+// newVersion is the commit timestamp the partition's time base assigned.
+// The record therefore certifies: "addr held prevValue at every snapshot
+// S with prevVersion <= S < newVersion". prevVersion is an upper bound on
+// the last commit that actually wrote addr (the orec may have ticked for
+// a neighbouring address), so the interval is conservative — a record
+// never claims more history than is true.
+//
+// A reader at snapshot S that finds an orec whose version exceeds S looks
+// up (addr, S): any record whose interval contains S yields the exact
+// committed value at S. Successive commits to one address chain through
+// orec versions (each record's newVersion is the next record's
+// prevVersion or earlier), so intervals for one address never overlap and
+// at most one record can match — the lookup needs no ordering or
+// minimality argument, and a record evicted by the bounded ring simply
+// turns the lookup into a miss. Correctness never depends on retention:
+// the engine falls back to its validate/extend read path on a miss.
+//
+// # Concurrency
+//
+// Appends are lock-free: a writer takes the next ring sequence with one
+// atomic fetch-add, then claims the slot seqlock-style by CAS from an
+// even (published or empty) sequence to its odd (writing) one, stores
+// the fields it now exclusively owns, and publishes by storing the even
+// sequence. A writer that loses the claim CAS — the ring wrapped a full
+// revolution while another append was in flight on the same slot — drops
+// its record instead of interleaving fields into a torn publication; a
+// dropped record only ever turns a lookup into a miss, which the engine
+// handles anyway. Readers accept a slot only when the sequence is even,
+// nonzero, and unchanged across the field reads. All fields are atomics,
+// so the Go memory model orders a record's publication before the lock
+// release that makes its newVersion visible: a reader that observes the
+// new orec version is guaranteed to observe the record, unless the ring
+// has already evicted it.
+//
+// Buffers are bounded and per partition; capacity is a per-partition
+// configuration knob (core.PartConfig.HistCap) the runtime tuner may
+// adjust. A buffer belongs to one partition state (one orec table): the
+// engine creates a fresh buffer whenever it rebuilds the table, because
+// records are only meaningful against the version timeline of the table
+// whose orecs minted their prevVersions.
+package mvstore
+
+import "sync/atomic"
+
+// slot is one ring entry. seq is the seqlock word: 0 = never written,
+// odd = being written, even nonzero = published record with ring sequence
+// (seq-2)/2.
+type slot struct {
+	seq     atomic.Uint64
+	addr    atomic.Uint64
+	val     atomic.Uint64
+	prevVer atomic.Uint64
+	newVer  atomic.Uint64
+	_       [3]uint64 // pad to 64 bytes against false sharing
+}
+
+// Buffer is one partition's bounded version store. The zero value is not
+// usable; construct with New.
+type Buffer struct {
+	slots []slot
+	mask  uint64
+	head  atomic.Uint64 // ring sequence of the next append
+}
+
+// minCap is the smallest usable ring; anything below churns too fast to
+// ever satisfy a reader.
+const minCap = 8
+
+// New creates a buffer retaining the last capacity records (rounded up to
+// a power of two, minimum 8).
+func New(capacity int) *Buffer {
+	n := uint64(minCap)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &Buffer{slots: make([]slot, n), mask: n - 1}
+}
+
+// Cap returns the ring capacity in records.
+func (b *Buffer) Cap() int { return len(b.slots) }
+
+// Head returns the total number of records ever appended. Readers use it
+// as a cheap change signal: a failed lookup can only start succeeding
+// after Head moves.
+func (b *Buffer) Head() uint64 { return b.head.Load() }
+
+// Append publishes one overwrite record. Callers (committing writers)
+// must append while still holding the write lock whose release will
+// publish newVer, so no reader can need the record before it exists.
+func (b *Buffer) Append(addr, val, prevVer, newVer uint64) {
+	s := b.head.Add(1) - 1
+	sl := &b.slots[s&b.mask]
+	// Claim the slot by CAS to the odd (writing) sequence. Losing the
+	// claim means the ring wrapped all the way around while another
+	// append was mid-flight on this very slot; writing our fields anyway
+	// could interleave with the owner's and publish a torn record, so the
+	// record is dropped instead — by construction a dropped record only
+	// ever turns a future lookup into a miss, and misses fall back to the
+	// engine's validate/extend path. Between a successful claim and the
+	// publish below the slot is exclusively ours: every other claimant's
+	// CAS fails against the odd value.
+	cur := sl.seq.Load()
+	if cur&1 != 0 || !sl.seq.CompareAndSwap(cur, 2*s+1) {
+		return
+	}
+	sl.addr.Store(addr)
+	sl.val.Store(val)
+	sl.prevVer.Store(prevVer)
+	sl.newVer.Store(newVer)
+	sl.seq.Store(2*s + 2)
+}
+
+// ReadAt returns the committed value of addr at snapshot at, if a record
+// covering that instant is still retained. Newest slots are probed first,
+// so a hit for a freshly overwritten address (the common case: the reader
+// lost a race with one recent commit) costs a handful of loads.
+func (b *Buffer) ReadAt(addr, at uint64) (uint64, bool) {
+	head := b.head.Load()
+	n := uint64(len(b.slots))
+	span := head
+	if span > n {
+		span = n
+	}
+	for i := uint64(1); i <= span; i++ {
+		sl := &b.slots[(head-i)&b.mask]
+		q1 := sl.seq.Load()
+		if q1 == 0 || q1&1 != 0 {
+			continue
+		}
+		a := sl.addr.Load()
+		v := sl.val.Load()
+		pv := sl.prevVer.Load()
+		nv := sl.newVer.Load()
+		if sl.seq.Load() != q1 {
+			continue // overwritten mid-read; a wrapped slot can't match anyway
+		}
+		if a == addr && pv <= at && at < nv {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Stats is a momentary reading of a buffer, for experiments and the
+// engine's observability surface.
+type Stats struct {
+	// Cap is the ring capacity in records.
+	Cap int
+	// Appends is the total number of records ever appended.
+	Appends uint64
+	// Live is the number of records currently retained (<= Cap).
+	Live int
+	// OldestVersion and NewestVersion bound the newVersion stamps of the
+	// retained records: the buffer can serve snapshots back to roughly
+	// OldestVersion's predecessor. Both are 0 while the buffer is empty.
+	OldestVersion uint64
+	NewestVersion uint64
+}
+
+// Stats scans the ring and reports capacity, append count, live records
+// and the retained version span. Concurrent appends make the reading
+// approximate; every field is exact on a quiescent buffer.
+func (b *Buffer) Stats() Stats {
+	st := Stats{Cap: len(b.slots), Appends: b.head.Load()}
+	for i := range b.slots {
+		sl := &b.slots[i]
+		q1 := sl.seq.Load()
+		if q1 == 0 || q1&1 != 0 {
+			continue
+		}
+		nv := sl.newVer.Load()
+		if sl.seq.Load() != q1 {
+			continue
+		}
+		st.Live++
+		if st.OldestVersion == 0 || nv < st.OldestVersion {
+			st.OldestVersion = nv
+		}
+		if nv > st.NewestVersion {
+			st.NewestVersion = nv
+		}
+	}
+	return st
+}

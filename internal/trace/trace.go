@@ -30,6 +30,11 @@ type Recorder struct {
 	aborts  [core.NumAbortCauses]atomic.Uint64
 	retried atomic.Uint64 // attempts with Attempt > 1
 	maxOps  atomic.Uint64
+
+	// snapHits/snapMisses aggregate snapshot-mode reads served from (or
+	// missed by) the multi-version store across all recorded attempts.
+	snapHits   atomic.Uint64
+	snapMisses atomic.Uint64
 }
 
 // NewRecorder creates a recorder keeping the last capacity events
@@ -53,6 +58,12 @@ func (r *Recorder) TraceAttempt(ev core.AttemptEvent) {
 	}
 	if ev.Attempt > 1 {
 		r.retried.Add(1)
+	}
+	if ev.SnapHits > 0 {
+		r.snapHits.Add(ev.SnapHits)
+	}
+	if ev.SnapMisses > 0 {
+		r.snapMisses.Add(ev.SnapMisses)
 	}
 	for {
 		cur := r.maxOps.Load()
@@ -79,6 +90,13 @@ func (r *Recorder) Retried() uint64 { return r.retried.Load() }
 
 // MaxOps returns the largest per-attempt operation count seen.
 func (r *Recorder) MaxOps() uint64 { return r.maxOps.Load() }
+
+// SnapHits returns the total snapshot-store reconstructions recorded.
+func (r *Recorder) SnapHits() uint64 { return r.snapHits.Load() }
+
+// SnapMisses returns the total snapshot-store misses (fallbacks to the
+// validate/extend path) recorded.
+func (r *Recorder) SnapMisses() uint64 { return r.snapMisses.Load() }
 
 // Snapshot returns the buffered events oldest-first. Call it after
 // removing the recorder from the engine (SetTracer(nil)) for an exact
@@ -110,6 +128,9 @@ func (r *Recorder) Summary() string {
 		if n := r.aborts[c].Load(); n > 0 {
 			fmt.Fprintf(&b, "  aborts[%s] = %d\n", c, n)
 		}
+	}
+	if h, m := r.snapHits.Load(), r.snapMisses.Load(); h > 0 || m > 0 {
+		fmt.Fprintf(&b, "  snapshot store: %d hits, %d misses\n", h, m)
 	}
 	return b.String()
 }

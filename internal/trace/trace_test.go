@@ -174,3 +174,22 @@ func TestTracerRemovalStopsRecording(t *testing.T) {
 		t.Fatalf("recorder grew after removal: %d -> %d", before, r.Len())
 	}
 }
+
+// TestSnapshotCountersInSummary checks the recorder aggregates
+// snapshot-store hits and misses from attempt events and surfaces them
+// in the summary.
+func TestSnapshotCountersInSummary(t *testing.T) {
+	r := NewRecorder(8)
+	r.TraceAttempt(core.AttemptEvent{Slot: 0, Attempt: 1, Cause: core.AbortNone, SnapHits: 3, SnapMisses: 1})
+	r.TraceAttempt(core.AttemptEvent{Slot: 1, Attempt: 1, Cause: core.AbortNone, SnapHits: 2})
+	if r.SnapHits() != 5 || r.SnapMisses() != 1 {
+		t.Fatalf("snap counters = %d/%d, want 5/1", r.SnapHits(), r.SnapMisses())
+	}
+	if s := r.Summary(); !strings.Contains(s, "snapshot store: 5 hits, 1 misses") {
+		t.Fatalf("summary missing snapshot line:\n%s", s)
+	}
+	// And absent when idle.
+	if s := NewRecorder(1).Summary(); strings.Contains(s, "snapshot store") {
+		t.Fatalf("idle summary mentions snapshot store:\n%s", s)
+	}
+}

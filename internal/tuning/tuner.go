@@ -36,6 +36,21 @@
 //     base per partition" payoff of the paper's partitioning argument,
 //     actuated at the engine level rather than per partition.
 //
+//  5. Snapshot history (optional, AdaptSnapshot): a partition showing
+//     unserved snapshot demand — SnapshotAtomic readers hitting stale
+//     orecs the store cannot reconstruct (SnapMisses) — or a
+//     read-dominated commit mix under update traffic attaches a
+//     multi-version snapshot store (PartConfig.HistCap,
+//     internal/mvstore), so snapshot readers stop aborting or extending
+//     under the writers. Demand matters more than the commit mix:
+//     starving snapshot readers barely commit, so their share of commits
+//     stays invisible while their misses do not. While misses persist
+//     with a store attached, capacity doubles (retention growth, up to
+//     the engine clamp); when snapshot demand disappears on an
+//     update-active partition the store is dropped, removing the
+//     commit-path append cost. Every direction requires its condition to
+//     hold for Hysteresis consecutive epochs.
+//
 // The tuner works on per-epoch deltas of the engine's monotonic
 // per-partition counters; actuation goes through Engine.Reconfigure,
 // which swaps the partition's configuration and orec table under
@@ -107,6 +122,21 @@ type Config struct {
 	// ToGlobalCrossShare: fraction of update commits that span partitions
 	// above which a partition-local engine reverts to the global counter.
 	ToGlobalCrossShare float64
+
+	// AdaptSnapshot enables heuristic (5): per-partition snapshot-history
+	// adaptation for abort-free read-only transactions.
+	AdaptSnapshot bool
+	// ToSnapshotDemand: unserved snapshot reads per epoch (SnapMisses) at
+	// or above which a store is attached — or, with one attached, its
+	// capacity doubled.
+	ToSnapshotDemand uint64
+	// ToSnapshotROShare: alternatively, a partition whose read-only
+	// commit share meets this (with update traffic present) gets a store
+	// attached pre-emptively, before any snapshot reader starves.
+	ToSnapshotROShare float64
+	// SnapshotHistCap is the initial store capacity (records) the
+	// heuristic installs.
+	SnapshotHistCap uint
 }
 
 // DefaultConfig returns the tuner defaults used by the experiments.
@@ -131,6 +161,11 @@ func DefaultConfig() Config {
 		AdaptTimeBase:           false,
 		ToPartitionLocalUpdates: 1000,
 		ToGlobalCrossShare:      0.50,
+
+		AdaptSnapshot:     false,
+		ToSnapshotDemand:  64,
+		ToSnapshotROShare: 0.60,
+		SnapshotHistCap:   1024,
 	}
 }
 
@@ -191,6 +226,15 @@ type partTuneState struct {
 	cmBaseline float64
 	cmRevertTo core.PartConfig
 	cmCooldown int
+
+	// Snapshot-history adaptation needs only streaks: attaching, growing
+	// or dropping the store does not change the read/write protocol, so
+	// there is no regret probe — the cost it weighs (commit-path appends
+	// vs. unserved snapshot reads) is captured directly by the decision
+	// inputs.
+	snapOnStreak   int
+	snapGrowStreak int
+	snapOffStreak  int
 
 	climb         climbState
 	stableEpochs  int
@@ -324,6 +368,12 @@ func (t *Tuner) Tick() []Decision {
 		}
 		if t.cfg.AdaptCM {
 			if d, ok := t.cmStep(p, &delta, st); ok {
+				applied = append(applied, d)
+				continue
+			}
+		}
+		if t.cfg.AdaptSnapshot {
+			if d, ok := t.snapStep(p, &delta, st); ok {
 				applied = append(applied, d)
 				continue
 			}
@@ -546,6 +596,76 @@ func (t *Tuner) cmStep(p *core.Partition, d *core.PartStats, st *partTuneState) 
 			return t.apply(p, cfg, newCfg, st,
 				fmt.Sprintf("conflict rate %.2f: switch to older-wins arbitration", conflictRate))
 		}
+	}
+	return Decision{}, false
+}
+
+// snapStep applies heuristic (5). Attachment keys primarily on unserved
+// snapshot demand (SnapMisses): snapshot readers starving under writers
+// barely commit, so a commit-share trigger alone would never see them —
+// their misses are the honest signal. A read-dominated commit mix under
+// update traffic attaches pre-emptively. With a store attached,
+// persistent misses double its capacity (retention growth); a partition
+// whose snapshot demand has dried up while updates keep paying the
+// append drops the store.
+func (t *Tuner) snapStep(p *core.Partition, d *core.PartStats, st *partTuneState) (Decision, bool) {
+	cfg := p.Config()
+	demand := d.SnapHits + d.SnapMisses
+	if cfg.HistCap == 0 {
+		roHeavy := false
+		if d.Commits > 0 {
+			roShare := float64(d.ROCommits) / float64(d.Commits)
+			roHeavy = roShare >= t.cfg.ToSnapshotROShare && d.UpdateCommits > 0
+		}
+		if d.SnapMisses >= t.cfg.ToSnapshotDemand || roHeavy {
+			st.snapOnStreak++
+		} else {
+			st.snapOnStreak = 0
+		}
+		if st.snapOnStreak >= t.cfg.Hysteresis {
+			st.snapOnStreak = 0
+			newCfg := cfg
+			newCfg.HistCap = t.cfg.SnapshotHistCap
+			return t.apply(p, cfg, newCfg, st,
+				fmt.Sprintf("%d unserved snapshot reads/epoch: attach snapshot store (%d records)",
+					d.SnapMisses, t.cfg.SnapshotHistCap))
+		}
+		return Decision{}, false
+	}
+	// Retention growth: with a store attached and retention sufficient,
+	// steady-state misses are exactly zero (that is the design's whole
+	// point), so ANY persistent miss means records are being evicted
+	// faster than readers consume them — and an undersized ring throttles
+	// its own miss count (readers abort early and back off), so a volume
+	// threshold like the attach condition would never fire. Double the
+	// ring (Normalize clamps the ceiling; stop proposing once pinned
+	// there). Hysteresis filters the transient misses right after attach,
+	// when stale orecs still predate the store.
+	if d.SnapMisses > 0 {
+		st.snapGrowStreak++
+	} else {
+		st.snapGrowStreak = 0
+	}
+	if st.snapGrowStreak >= t.cfg.Hysteresis {
+		st.snapGrowStreak = 0
+		newCfg := cfg
+		newCfg.HistCap = cfg.HistCap * 2
+		if grown := newCfg.Normalize(); grown.HistCap > cfg.HistCap {
+			return t.apply(p, cfg, newCfg, st,
+				fmt.Sprintf("%d unserved snapshot reads/epoch despite store: grow retention %d -> %d records",
+					d.SnapMisses, cfg.HistCap, grown.HistCap))
+		}
+	}
+	if demand == 0 && d.UpdateCommits > 0 {
+		st.snapOffStreak++
+	} else {
+		st.snapOffStreak = 0
+	}
+	if st.snapOffStreak >= t.cfg.Hysteresis {
+		st.snapOffStreak = 0
+		newCfg := cfg
+		newCfg.HistCap = 0
+		return t.apply(p, cfg, newCfg, st, "no snapshot demand under update traffic: drop snapshot store")
 	}
 	return Decision{}, false
 }

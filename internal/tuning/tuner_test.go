@@ -458,3 +458,112 @@ func TestDecisionString(t *testing.T) {
 		t.Fatal("empty decision string")
 	}
 }
+
+// TestSnapshotAdaptation drives a read-dominated partition with update
+// traffic present and checks heuristic (5) attaches the snapshot store;
+// then flips the workload to update-dominated and checks it drops it.
+func TestSnapshotAdaptation(t *testing.T) {
+	e := newEngine(t)
+	cfg := DefaultConfig()
+	cfg.HillClimb = false
+	cfg.AdaptSnapshot = true
+	cfg.MinCommits = 10
+	cfg.Hysteresis = 2
+	cfg.SnapshotHistCap = 64
+	tn := New(e, cfg)
+
+	th := e.MustAttachThread()
+	defer e.DetachThread(th)
+	var a memory.Addr
+	th.Atomic(func(tx *core.Tx) {
+		a = tx.Alloc(memory.DefaultSite, 4)
+		tx.Store(a, 0)
+	})
+
+	readHeavy := func(th *core.Thread) {
+		for i := 0; i < 200; i++ {
+			if i%10 == 0 {
+				th.Atomic(func(tx *core.Tx) { tx.Store(a, tx.Load(a)+1) })
+			} else {
+				th.ReadOnlyAtomic(func(tx *core.Tx) { _ = tx.Load(a) })
+			}
+		}
+	}
+	attached := false
+	for epoch := 0; epoch < 20 && !attached; epoch++ {
+		readHeavy(th)
+		for _, d := range tn.Tick() {
+			if d.New.HistCap == cfg.SnapshotHistCap {
+				attached = true
+			}
+		}
+	}
+	if !attached {
+		t.Fatalf("snapshot store never attached; trace: %v", tn.Trace())
+	}
+	if got := e.Partition(core.GlobalPartition).Config().HistCap; got != cfg.SnapshotHistCap {
+		t.Fatalf("HistCap = %d after attach, want %d", got, cfg.SnapshotHistCap)
+	}
+
+	writeHeavy := func(th *core.Thread) {
+		for i := 0; i < 200; i++ {
+			th.Atomic(func(tx *core.Tx) { tx.Store(a, tx.Load(a)+1) })
+		}
+	}
+	dropped := false
+	for epoch := 0; epoch < 20 && !dropped; epoch++ {
+		writeHeavy(th)
+		for _, d := range tn.Tick() {
+			if d.Old.HistCap != 0 && d.New.HistCap == 0 {
+				dropped = true
+			}
+		}
+	}
+	if !dropped {
+		t.Fatalf("snapshot store never dropped; trace: %v", tn.Trace())
+	}
+	if got := e.Partition(core.GlobalPartition).Config().HistCap; got != 0 {
+		t.Fatalf("HistCap = %d after drop, want 0", got)
+	}
+
+	// Demand-driven re-attach: snapshot readers hitting stale orecs with
+	// no store produce SnapMisses even when they barely commit — the
+	// starving-reader signal must attach the store on its own, without
+	// any read-only commit share.
+	snapDemand := func(th *core.Thread) {
+		for i := 0; i < 100; i++ {
+			th.Atomic(func(tx *core.Tx) { tx.Store(a, tx.Load(a)+1) })
+			th.SnapshotAtomic(func(tx *core.Tx) {
+				// Pin the snapshot on word 0, then force staleness by
+				// committing an update to word 1 before reading it.
+				_ = tx.Load(a)
+				if tx.SnapshotMode() {
+					th2 := e.MustAttachThread()
+					th2.Atomic(func(wtx *core.Tx) { wtx.Store(a+1, wtx.Load(a+1)+1) })
+					e.DetachThread(th2)
+				}
+				_ = tx.Load(a + 1)
+			})
+		}
+	}
+	reattached := false
+	for epoch := 0; epoch < 20 && !reattached; epoch++ {
+		snapDemand(th)
+		for _, d := range tn.Tick() {
+			if d.Old.HistCap == 0 && d.New.HistCap != 0 {
+				reattached = true
+			}
+		}
+	}
+	if !reattached {
+		t.Fatalf("unserved snapshot demand never attached the store; trace: %v", tn.Trace())
+	}
+}
+
+// TestSnapshotAdaptationDisabledByDefault pins heuristic (5) behind its
+// flag.
+func TestSnapshotAdaptationDisabledByDefault(t *testing.T) {
+	if DefaultConfig().AdaptSnapshot {
+		t.Fatal("AdaptSnapshot should default to off")
+	}
+}

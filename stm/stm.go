@@ -52,6 +52,25 @@
 // the tuner decide (TunerConfig.AdaptTimeBase); ClockStats exposes the
 // per-partition counters and shared-RMW figures.
 //
+// # Snapshot mode
+//
+// Partitions can retain a bounded multi-version history of overwritten
+// values (internal/mvstore): update commits append the values they
+// replace, and read-only transactions run through Thread.SnapshotAtomic
+// read at a snapshot pinned at their first access, reconstructing any
+// location a writer has since overwritten from that history. Such
+// transactions never validate, never extend, and — while the needed
+// records are retained — never abort, no matter how heavy the write
+// traffic: long analytic scans coexist with saturating writers. A
+// missing or exhausted history degrades gracefully to the ordinary
+// validate/extend read path, so correctness never depends on retention.
+// Enable per partition with PartConfig.HistCap, for the whole runtime
+// with Config.SnapshotHistory, or let the tuner manage stores itself
+// (TunerConfig.AdaptSnapshot: attach on unserved snapshot demand or a
+// read-dominated mix, double retention while misses persist, drop when
+// demand dries up); SnapshotHistoryStats reports capacity, appends and
+// the retained version span.
+//
 // All transactions remain serializable across partitions: the time base
 // orders commits, partitioning only splits conflict detection.
 package stm
@@ -63,6 +82,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/memory"
+	"repro/internal/mvstore"
 	"repro/internal/partition"
 	"repro/internal/trace"
 	"repro/internal/tuning"
@@ -113,6 +133,10 @@ type (
 	// ClockStats is a momentary reading of the commit time base:
 	// per-partition counters plus shared-RMW contention figures.
 	ClockStats = clock.Stats
+	// SnapshotHistoryStats is a momentary reading of one partition's
+	// multi-version snapshot store: capacity, appends, live records and
+	// the retained version span.
+	SnapshotHistoryStats = mvstore.Stats
 )
 
 // Nil is the null heap address.
@@ -185,6 +209,14 @@ type Config struct {
 	// TimeBase selects the commit time base. Zero value: TimeBaseGlobal
 	// (classic single shared counter).
 	TimeBase TimeBaseMode
+	// SnapshotHistory, when nonzero, attaches a multi-version snapshot
+	// store of that many overwrite records to every partition (it sets
+	// PartConfig.HistCap on the default configuration), enabling
+	// abort-free read-only transactions via Thread.SnapshotAtomic. Zero
+	// leaves snapshot history off; individual partitions can still opt in
+	// through their own HistCap, and the tuner can attach stores
+	// adaptively (TunerConfig.AdaptSnapshot).
+	SnapshotHistory uint
 }
 
 // Runtime owns the heap, the STM engine, the partition analyzer and the
@@ -212,6 +244,10 @@ func New(cfg Config) (*Runtime, error) {
 	base := core.DefaultPartConfig()
 	if cfg.Default != nil {
 		base = cfg.Default.Normalize()
+	}
+	if cfg.SnapshotHistory > 0 {
+		base.HistCap = cfg.SnapshotHistory
+		base = base.Normalize()
 	}
 	rt := &Runtime{
 		arena:    arena,
@@ -417,6 +453,13 @@ func (r *Runtime) SetTimeBase(m TimeBaseMode) { r.eng.SetTimeBaseMode(m) }
 // ClockStats returns a momentary reading of the commit time base
 // (per-partition counters, cross-partition epoch, shared-RMW counts).
 func (r *Runtime) ClockStats() ClockStats { return r.eng.ClockStats() }
+
+// SnapshotHistory returns a momentary reading of partition id's
+// multi-version snapshot store (the zero value when the partition has no
+// store configured).
+func (r *Runtime) SnapshotHistory(id PartID) SnapshotHistoryStats {
+	return r.eng.SnapshotHistory(id)
+}
 
 // Stats returns a statistics snapshot for every partition.
 func (r *Runtime) Stats() []PartStats { return r.eng.AllStats() }

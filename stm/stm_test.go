@@ -251,3 +251,60 @@ func TestDefaultConfigOverride(t *testing.T) {
 		t.Fatalf("default config not applied: %v", got)
 	}
 }
+
+// TestSnapshotModeFacade exercises the snapshot surface end to end:
+// Config.SnapshotHistory attaches stores to every partition,
+// Thread.SnapshotAtomic reads a pinned snapshot through writer traffic,
+// and SnapshotHistory/stats report the reconstructions.
+func TestSnapshotModeFacade(t *testing.T) {
+	rt, err := stm.New(stm.Config{HeapWords: 1 << 18, BlockShift: 8, SnapshotHistory: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := rt.PartitionConfig(stm.GlobalPartition)
+	if err != nil || cfg.HistCap != 256 {
+		t.Fatalf("HistCap = %d (%v), want 256", cfg.HistCap, err)
+	}
+
+	reader := rt.MustAttach()
+	writer := rt.MustAttach()
+	defer rt.Detach(reader)
+	defer rt.Detach(writer)
+	site := rt.RegisterSite("snap.cells")
+	const cells = 8
+	var base stm.Addr
+	writer.Atomic(func(tx *stm.Tx) {
+		base = tx.Alloc(site, cells)
+		for i := 0; i < cells; i++ {
+			tx.Store(base+stm.Addr(i), 5)
+		}
+	})
+
+	reader.SnapshotAtomic(func(tx *stm.Tx) {
+		if got := tx.Load(base); got != 5 {
+			t.Errorf("pin read = %d, want 5", got)
+		}
+		writer.Atomic(func(wtx *stm.Tx) {
+			for i := 0; i < cells; i++ {
+				wtx.Store(base+stm.Addr(i), 6)
+			}
+		})
+		for i := 1; i < cells; i++ {
+			if got := tx.Load(base + stm.Addr(i)); got != 5 {
+				t.Errorf("cell %d = %d at pinned snapshot, want 5", i, got)
+			}
+		}
+	})
+
+	hist := rt.SnapshotHistory(stm.GlobalPartition)
+	if hist.Cap != 256 || hist.Appends == 0 {
+		t.Fatalf("history stats = %+v", hist)
+	}
+	st := rt.PartitionStats(stm.GlobalPartition)
+	if st.SnapHits == 0 {
+		t.Fatalf("no snapshot hits in stats: %+v", st)
+	}
+	if got := rt.SnapshotHistory(stm.PartID(99)); got.Cap != 0 {
+		t.Fatalf("unknown partition returned history %+v", got)
+	}
+}
