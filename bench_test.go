@@ -19,6 +19,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/mvstore"
 	"repro/internal/workload"
 	"repro/stm"
 	"repro/txds"
@@ -115,6 +116,61 @@ func BenchmarkSnapshotAppend(b *testing.B) {
 						tx.Store(a+stm.Addr(j), tx.Load(a+stm.Addr(j))+1)
 					}
 				})
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotReadAtMiss measures the snapshot store's miss path —
+// the cost a long scan over a stale snapshot pays on every load the store
+// cannot serve. The probed addresses' records have been evicted by a full
+// ring of unrelated traffic, so every lookup is a retention miss. With
+// the address-indexed store the cost must be independent of HistCap
+// (one index probe + one dead chain link); the newest-first ring scan
+// this replaced paid O(HistCap) seqlock probes here, ~64x between the
+// two sub-benchmarks.
+func BenchmarkSnapshotReadAtMiss(b *testing.B) {
+	const probeAddrs = 64
+	for _, capacity := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("hist-%d", capacity), func(b *testing.B) {
+			buf := mvstore.New(capacity)
+			for a := uint64(0); a < probeAddrs; a++ {
+				buf.Append(a, 1, 1, 2)
+			}
+			for i := 0; i < capacity; i++ {
+				buf.Append(1<<20+uint64(i), 2, 2, 3)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := buf.ReadAt(uint64(i%probeAddrs), 1); ok {
+					b.Fatal("expected a miss: record was evicted")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotReadAtHit measures the hit path at increasing chain
+// depth: the walk visits one link per commit that landed on the address
+// after the snapshot being read.
+func BenchmarkSnapshotReadAtHit(b *testing.B) {
+	for _, depth := range []int{1, 8} {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			buf := mvstore.New(1024)
+			const addrs = 64
+			for d := 0; d < depth; d++ {
+				for a := uint64(0); a < addrs; a++ {
+					v := uint64(d + 1)
+					buf.Append(a, v, v, v+1)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Snapshot 1 is covered by the oldest record: the walk
+				// traverses the full chain (depth links).
+				if _, ok := buf.ReadAt(uint64(i%addrs), 1); !ok {
+					b.Fatal("expected a hit")
+				}
 			}
 		})
 	}

@@ -24,24 +24,31 @@
 // locations a transaction touches, never with the operations it executes.
 // Set-membership lookups run as inline linear scans while sets are small
 // and through generation-stamped open-addressed indexes (txIndex) beyond;
-// commit-time validation is skipped when no foreign commit has landed in
-// the footprint (the TL2 rule, generalized per partition). See tx.go and
-// txindex.go.
+// a bloom-style first-touch filter (txFilter) in front of both makes the
+// dominant query of a large scan — "is this orec/address new to me?" —
+// answer without probing at all (a clear bit proves first touch; a set
+// bit still confirms through the exact lookup). Commit-time validation is
+// skipped when no foreign commit has landed in the footprint (the TL2
+// rule, generalized per partition). See tx.go, txindex.go and
+// txfilter.go.
 //
 // Partitions may additionally retain a bounded multi-version history of
-// overwritten values (PartConfig.HistCap, internal/mvstore). Read-only
-// transactions run in snapshot mode (Engine.SnapshotAtomic) then pin
-// their snapshot and reconstruct any location a writer has since
-// committed over from that history instead of extending or aborting —
-// abort-free read-only transactions under write traffic, degrading to
-// the ordinary validate/extend path when a needed record has been
-// evicted.
+// overwritten values (PartConfig.HistCap, internal/mvstore), indexed by
+// address so both hits and misses cost O(1) in the ring capacity.
+// Read-only transactions run in snapshot mode (Engine.SnapshotAtomic)
+// then pin their snapshot and reconstruct any location a writer has
+// since committed over from that history instead of extending or
+// aborting — abort-free read-only transactions under write traffic,
+// degrading to the ordinary validate/extend path when a needed record
+// has been evicted. Commits publish their history records in one batch
+// per written partition.
 package core
 
 import (
 	"fmt"
 
 	"repro/internal/clock"
+	"repro/internal/mvstore"
 )
 
 // TimeBaseMode selects the engine's commit time base (see internal/clock
@@ -231,7 +238,9 @@ type PartConfig struct {
 	// transactions in snapshot mode (Thread.SnapshotAtomic) reconstruct
 	// reads at their pinned snapshot from it instead of extending or
 	// aborting. 0 disables the store (and with it any append cost on the
-	// commit path). Capacity is rounded up to a power of two.
+	// commit path). Capacity is rounded up to a power of two and clamped
+	// to mvstore.MaxCap (Normalize applies the same ceiling, so the
+	// store's round-up loop can never be fed a value that overflows it).
 	HistCap uint
 }
 
@@ -269,8 +278,11 @@ func (c PartConfig) Normalize() PartConfig {
 	if c.SpinBudget <= 0 {
 		c.SpinBudget = 128
 	}
-	if c.HistCap > 1<<20 {
-		c.HistCap = 1 << 20
+	if c.HistCap > mvstore.MaxCap {
+		// Keep in lockstep with the store's own clamp: mvstore.New rounds
+		// capacity up to a power of two, and an unbounded request would
+		// overflow that loop (see mvstore.MaxCap).
+		c.HistCap = mvstore.MaxCap
 	}
 	return c
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/memory"
+	"repro/internal/mvstore"
 )
 
 // writeMode tags how a write-set entry reaches memory.
@@ -116,6 +117,14 @@ type Tx struct {
 	lkIdx     txIndex
 	lkIndexed int
 
+	// First-touch filters (txfilter.go): a clear filter bit proves an orec
+	// (read set) or address (write set) was never recorded, so the first
+	// touch — the common case of every large scan — skips the membership
+	// probe entirely and appends directly. A set bit is only a hint; the
+	// exact find still runs before any dedup decision.
+	rsFilt txFilter
+	wsFilt txFilter
+
 	// touchIdx/touchGen give O(1) partition→touched lookup: touchIdx[pid]
 	// is the partition's position in tx.touched when touchGen[pid] matches
 	// touchGenVal (bumped every attempt; sized to the topology at begin).
@@ -125,12 +134,15 @@ type Tx struct {
 
 	// Commit/extension scratch, reused across attempts: the deduplicated
 	// written partitions, their assigned write versions (also mirrored into
-	// wvByPid for O(1) lookup at lock release), and extension's resampled
-	// snapshots.
+	// wvByPid for O(1) lookup at lock release), extension's resampled
+	// snapshots, and appendHistory's per-partition record buckets (indexed
+	// by the partition's position in tx.touched).
 	commitParts []uint32
 	commitWV    []uint64
 	wvByPid     []uint64
 	extSnaps    []uint64
+	histRecs    [][]mvstore.Record
+	histBufs    []*mvstore.Buffer
 }
 
 func (tx *Tx) init(e *Engine, th *Thread) {
@@ -178,6 +190,8 @@ func (tx *Tx) begin(readOnly, snap bool) {
 	tx.wsIdx.reset()
 	tx.lkIdx.reset()
 	tx.rsIndexed, tx.wsIndexed, tx.lkIndexed = 0, 0, 0
+	tx.rsFilt.reset()
+	tx.wsFilt.reset()
 	if n := len(tx.topo.parts); len(tx.touchIdx) < n {
 		tx.touchIdx = make([]int32, n)
 		tx.touchGen = make([]uint64, n)
@@ -289,6 +303,28 @@ func (tx *Tx) wsFind(addr memory.Addr) int {
 	return tx.wsIdx.get(uint64(addr))
 }
 
+// rsFilterAdd records orec o in the read-set filter. Call after appending
+// the entry: growth rehashes from tx.rs, which must already include o.
+func (tx *Tx) rsFilterAdd(o *orec) {
+	tx.rsFilt.add(orecKey(o), rsSmallMax, func(yield func(uint64)) {
+		for i := range tx.rs {
+			yield(orecKey(tx.rs[i].o))
+		}
+	})
+}
+
+// wsFilterAdd records addr in the write-set filter. Call after appending
+// the entry: growth rehashes from tx.ws, which must already include addr.
+// Every write-set append MUST be mirrored here — read-after-write trusts
+// a clear filter bit to mean "no buffered value for this address".
+func (tx *Tx) wsFilterAdd(addr memory.Addr) {
+	tx.wsFilt.add(uint64(addr), wsSmallMax, func(yield func(uint64)) {
+		for i := range tx.ws {
+			yield(uint64(tx.ws[i].addr))
+		}
+	})
+}
+
 // lkFind returns the lock-set position holding orec o, or -1 (same hybrid
 // scheme as rsFind; used by commit-time validation's own-lock lookups).
 func (tx *Tx) lkFind(o *orec) int {
@@ -384,8 +420,10 @@ func (tx *Tx) Load(addr memory.Addr) uint64 {
 	ti := tx.touch(p, false)
 
 	// Read-after-write: buffered values win; write-through values are
-	// already in memory and flow through the normal paths below.
-	if len(tx.ws) > 0 {
+	// already in memory and flow through the normal paths below. The
+	// filter's no-false-negative guarantee carries the correctness here:
+	// a clear bit proves addr was never written, so memory is current.
+	if len(tx.ws) > 0 && tx.wsFilt.mayContain(uint64(addr)) {
 		if i := tx.wsFind(addr); i >= 0 && tx.ws[i].mode != modeWT {
 			return tx.ws[i].val
 		}
@@ -488,11 +526,17 @@ func (tx *Tx) loadInvisible(ps *partState, o *orec, addr memory.Addr, st *PartTh
 		// bounded by the unique orecs touched, not the loads executed. (A
 		// version mismatch on a repeat read cannot pass the snapshot check
 		// above — any commit to the orec postdates the snapshot — but if it
-		// ever did, appending a second entry keeps validation exact.)
-		if i := tx.rsFind(o); i >= 0 && tx.rs[i].ver == versionOf(l1) {
-			return v
+		// ever did, appending a second entry keeps validation exact.) The
+		// first touch of an orec — the common case of a large scan — skips
+		// even the probe: a clear filter bit proves the orec is new. A set
+		// bit may be a false positive, so dedup still confirms via rsFind.
+		if tx.rsFilt.mayContain(orecKey(o)) {
+			if i := tx.rsFind(o); i >= 0 && tx.rs[i].ver == versionOf(l1) {
+				return v
+			}
 		}
 		tx.rs = append(tx.rs, readEntry{o: o, ver: versionOf(l1)})
+		tx.rsFilterAdd(o)
 		return v
 	}
 }
@@ -565,7 +609,7 @@ func (tx *Tx) Store(addr memory.Addr, v uint64) {
 		tx.wsPut(addr, v, o, ps, modeWB)
 	default: // encounter-time write-through
 		tx.acquire(ps, o, st, ti)
-		if tx.wsFind(addr) < 0 {
+		if !tx.wsFilt.mayContain(uint64(addr)) || tx.wsFind(addr) < 0 {
 			// First write to addr: capture the undo pre-image.
 			tx.ws = append(tx.ws, writeEntry{
 				addr: addr,
@@ -574,17 +618,21 @@ func (tx *Tx) Store(addr memory.Addr, v uint64) {
 				ps:   ps,
 				mode: modeWT,
 			})
+			tx.wsFilterAdd(addr)
 		}
 		tx.eng.arena.StoreAtomic(addr, v)
 	}
 }
 
 func (tx *Tx) wsPut(addr memory.Addr, v uint64, o *orec, ps *partState, mode writeMode) {
-	if i := tx.wsFind(addr); i >= 0 {
-		tx.ws[i].val = v
-		return
+	if tx.wsFilt.mayContain(uint64(addr)) {
+		if i := tx.wsFind(addr); i >= 0 {
+			tx.ws[i].val = v
+			return
+		}
 	}
 	tx.ws = append(tx.ws, writeEntry{addr: addr, val: v, o: o, ps: ps, mode: mode})
+	tx.wsFilterAdd(addr)
 }
 
 // acquire takes the orec's write lock at encounter time, draining visible
@@ -1026,11 +1074,43 @@ func (tx *Tx) wvFor(pid PartID) uint64 {
 // pre-image of a buffered write is still in memory), and before any lock
 // release (a reader that observes the new orec version must be able to
 // find the record) — i.e. exactly here in the commit sequence.
+//
+// Records are grouped per partition — one pass over the write set,
+// bucketed through the O(1) partition→touched index — and published with
+// one AppendBatch per written partition: a wide cross-partition commit
+// issues one ring-head fetch-add per partition instead of one per
+// address, and each store's publications land back to back instead of
+// interleaved across rings — less store-buffer pressure exactly where
+// the commit already holds every lock and wants to drain fast.
 func (tx *Tx) appendHistory() {
+	any := false
+	for i := range tx.ws {
+		if tx.ws[i].ps.hist != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	nt := len(tx.touched)
+	if cap(tx.histRecs) < nt {
+		fresh := make([][]mvstore.Record, nt)
+		copy(fresh, tx.histRecs[:cap(tx.histRecs)])
+		tx.histRecs = fresh
+	}
+	if cap(tx.histBufs) < nt {
+		tx.histBufs = make([]*mvstore.Buffer, nt)
+	}
+	tx.histRecs = tx.histRecs[:nt]
+	tx.histBufs = tx.histBufs[:nt]
+	for ti := range tx.histRecs {
+		tx.histRecs[ti] = tx.histRecs[ti][:0] // keep grown capacity
+		tx.histBufs[ti] = nil
+	}
 	for i := range tx.ws {
 		en := &tx.ws[i]
-		hb := en.ps.hist
-		if hb == nil {
+		if en.ps.hist == nil {
 			continue
 		}
 		prev, ok := tx.prevFor(en.o)
@@ -1041,11 +1121,23 @@ func (tx *Tx) appendHistory() {
 		if en.mode != modeWT {
 			old = tx.eng.arena.LoadAtomic(en.addr)
 		}
+		pid := en.ps.part.id
 		wv := tx.commitWV[0]
 		if tx.pl {
-			wv = tx.wvFor(en.ps.part.id)
+			wv = tx.wvFor(pid)
 		}
-		hb.Append(uint64(en.addr), old, versionOf(prev), wv)
+		// A written partition is always in the footprint (Store touches
+		// it), so touchIdx is current for this attempt.
+		ti := int(tx.touchIdx[pid])
+		tx.histBufs[ti] = en.ps.hist
+		tx.histRecs[ti] = append(tx.histRecs[ti], mvstore.Record{
+			Addr: uint64(en.addr), Val: old, PrevVer: versionOf(prev), NewVer: wv,
+		})
+	}
+	for ti := range tx.histRecs {
+		if tx.histBufs[ti] != nil {
+			tx.histBufs[ti].AppendBatch(tx.histRecs[ti])
+		}
 	}
 }
 

@@ -87,7 +87,8 @@ func BenchmarkRepeatedReadTx(b *testing.B) {
 
 // BenchmarkWideWriteTx measures update transactions across write-set
 // sizes spanning the inline-probe and indexed regimes, in all three write
-// modes.
+// modes — plus write-back with a snapshot store attached, which prices
+// the per-partition batched history publication on the widest commits.
 func BenchmarkWideWriteTx(b *testing.B) {
 	modes := []struct {
 		name string
@@ -96,6 +97,7 @@ func BenchmarkWideWriteTx(b *testing.B) {
 		{"wb", func(c *PartConfig) {}},
 		{"wt", func(c *PartConfig) { c.Write = WriteThrough }},
 		{"ctl", func(c *PartConfig) { c.Acquire = CommitTime }},
+		{"wb-hist", func(c *PartConfig) { c.HistCap = 4096 }},
 	}
 	for _, m := range modes {
 		for _, n := range []int{4, 64, 512} {

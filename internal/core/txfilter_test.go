@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// TestFilterNoFalseNegatives is the load-bearing property: read-after-
+// write trusts a clear bit to mean "never added", so every added key must
+// report mayContain across the word regime, the growth boundary, and
+// bitset regrowth.
+func TestFilterNoFalseNegatives(t *testing.T) {
+	var f txFilter
+	var keys []uint64
+	enum := func(yield func(uint64)) {
+		for _, k := range keys {
+			yield(k)
+		}
+	}
+	rng := uint64(0x9E3779B97F4A7C15)
+	f.reset()
+	for i := 0; i < 4096; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		keys = append(keys, rng)
+		f.add(rng, 16, enum)
+		if i == 15 || i == 16 || i == 127 || i == 128 || i == 4095 {
+			// Spot-check full membership at regime boundaries (word→
+			// bitset at 16, regrowth at fill > 1/8) and at the end.
+			for _, k := range keys {
+				if !f.mayContain(k) {
+					t.Fatalf("false negative for key %#x after %d adds", k, len(keys))
+				}
+			}
+		}
+	}
+}
+
+// TestFilterResetForgets checks reset actually clears membership (a
+// filter remembering a previous attempt's keys would silently disable
+// first-touch skipping, and in the grown regime waste memory bandwidth).
+func TestFilterResetForgets(t *testing.T) {
+	var f txFilter
+	enum := func(yield func(uint64)) {}
+	f.reset()
+	for i := uint64(1); i <= 100; i++ {
+		f.add(i*0x10001, 16, func(yield func(uint64)) {
+			for j := uint64(1); j <= i; j++ {
+				yield(j * 0x10001)
+			}
+		})
+	}
+	f.reset()
+	hits := 0
+	for i := uint64(1); i <= 100; i++ {
+		if f.mayContain(i * 0x10001) {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Fatalf("%d keys still reported after reset", hits)
+	}
+	_ = enum
+}
+
+// TestFilterFalsePositivesConfirmed drives enough distinct orecs through
+// a transaction that the one-word filter must produce false positives
+// (>64 keys into 64 bits), and checks dedup stays exact: the read set
+// holds one entry per unique orec no matter how often each is re-read.
+// A false positive that skipped the rsFind confirmation would appear as
+// either a duplicate entry (dedup missed) or a wrongly-skipped append.
+func TestFilterFalsePositivesConfirmed(t *testing.T) {
+	cfg := DefaultPartConfig()
+	cfg.GranShift = 0
+	e := newTestEngine(t, cfg)
+	th := e.MustAttachThread()
+	defer e.DetachThread(th)
+	const words = 500
+	var base memory.Addr
+	th.Atomic(func(tx *Tx) {
+		base = tx.Alloc(memory.DefaultSite, words)
+		for i := 0; i < words; i++ {
+			tx.Store(base+memory.Addr(i), uint64(i))
+		}
+	})
+	// Count the distinct orecs covering the range (addresses can collide
+	// in the orec table; the read set is deduplicated per orec).
+	ps := e.Partition(GlobalPartition).loadState()
+	distinct := make(map[*orec]bool, words)
+	for i := 0; i < words; i++ {
+		distinct[ps.table.of(base+memory.Addr(i))] = true
+	}
+	th.ReadOnlyAtomic(func(tx *Tx) {
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < words; i++ {
+				_ = tx.Load(base + memory.Addr(i))
+			}
+		}
+		if got := tx.ReadSetLen(); got != len(distinct) {
+			t.Fatalf("read set = %d entries after 3 passes over %d distinct orecs", got, len(distinct))
+		}
+	})
+}
+
+// TestFilterWriteSetExact mirrors the read-set check for writes: repeated
+// stores to a large footprint keep one write-set entry per address, and
+// read-after-write returns the buffered (not in-memory) value for every
+// address — which fails if the filter ever reports a false negative.
+func TestFilterWriteSetExact(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		mut  func(*PartConfig)
+	}{
+		{"wb", func(c *PartConfig) {}},
+		{"wt", func(c *PartConfig) { c.Write = WriteThrough }},
+		{"ctl", func(c *PartConfig) { c.Acquire = CommitTime }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := DefaultPartConfig()
+			mode.mut(&cfg)
+			e := newTestEngine(t, cfg)
+			th := e.MustAttachThread()
+			defer e.DetachThread(th)
+			const words = 300
+			var base memory.Addr
+			th.Atomic(func(tx *Tx) {
+				base = tx.Alloc(memory.DefaultSite, words)
+				for i := 0; i < words; i++ {
+					tx.Store(base+memory.Addr(i), 0)
+				}
+			})
+			th.Atomic(func(tx *Tx) {
+				for pass := 0; pass < 2; pass++ {
+					for i := 0; i < words; i++ {
+						tx.Store(base+memory.Addr(i), uint64(1000+pass*words+i))
+					}
+				}
+				if got := tx.WriteSetLen(); got != words {
+					t.Fatalf("write set = %d entries, want %d (one per address)", got, words)
+				}
+				for i := 0; i < words; i++ {
+					want := uint64(1000 + words + i) // last pass's value
+					if got := tx.Load(base + memory.Addr(i)); got != want {
+						t.Fatalf("read-after-write at %d = %d, want %d", i, got, want)
+					}
+				}
+			})
+			// Committed state must reflect the buffered values.
+			th.ReadOnlyAtomic(func(tx *Tx) {
+				for i := 0; i < words; i++ {
+					want := uint64(1000 + words + i)
+					if got := tx.Load(base + memory.Addr(i)); got != want {
+						t.Fatalf("committed value at %d = %d, want %d", i, got, want)
+					}
+				}
+			})
+		})
+	}
+}

@@ -20,9 +20,14 @@ import (
 // reconstruct overwritten cells from the store, so with adequate
 // retention they must complete with zero aborts. Every scan also checks
 // the writers' conservation invariant (transfers keep the array sum
-// constant), so a torn snapshot would be caught immediately, and a third
+// constant), so a torn snapshot would be caught immediately; a third
 // phase measures writer-only throughput with the store attached vs.
-// detached to price the commit-path append.
+// detached to price the commit-path append; and a fourth phase sweeps
+// HistCap with deliberately aged snapshots (the ring wraps past the pin
+// before the scan runs), demonstrating that a store miss costs the same
+// no matter how large the ring — the address-indexed lookup's O(1) miss
+// guarantee, where the linear ring scan it replaced paid O(HistCap) per
+// missed load.
 func MVScan(o Options) (*Report, error) {
 	o = o.normalized()
 	cells := 256
@@ -181,11 +186,108 @@ func MVScan(o Options) (*Report, error) {
 	out.WriteString(fmt.Sprintf("store retention: cap=%d appends=%d live=%d version span [%d,%d]\n",
 		hist.Cap, hist.Appends, hist.Live, hist.OldestVersion, hist.NewestVersion))
 
+	// Phase 4: stale-snapshot sweep. Each scan pins its snapshot, then
+	// deliberately waits until the writers have wrapped the ring past it
+	// (so covering records are evicted and loads of overwritten cells
+	// MISS the store), then scans. This is the path that used to cost
+	// O(HistCap) seqlock probes per miss — per-cell scan cost grew with
+	// the ring exactly when the store could not help. With the address
+	// index a miss is O(1), so ns/cell must stay flat across HistCap.
+	sweepScans := 8
+	if o.Quick {
+		sweepScans = 5
+	}
+	out.WriteString("\nStale-snapshot sweep (scan after the ring wrapped past the pinned snapshot)\n")
+	out.WriteString("histcap  scans  ro-aborts  snap-hits  snap-misses  ret-misses  ns/cell\n")
+	var sweepNsPerCell []float64
+	for _, hc := range []uint{64, 512, 4096} {
+		srt, sbase := setup(hc)
+		var (
+			stop     atomic.Bool
+			wg       sync.WaitGroup
+			badSum   uint64
+			attempts uint64
+			scanNs   int64
+		)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				wth := srt.MustAttach()
+				defer srt.Detach(wth)
+				rng := workload.NewRng(seed)
+				for !stop.Load() {
+					i := stm.Addr(rng.Intn(cells))
+					j := stm.Addr(rng.Intn(cells))
+					d := rng.Uint64() % 16
+					wth.Atomic(func(tx *stm.Tx) {
+						vi := tx.Load(sbase + i)
+						if vi < d {
+							return
+						}
+						tx.Store(sbase+i, vi-d)
+						tx.Store(sbase+j, tx.Load(sbase+j)+d)
+					})
+				}
+			}(uint64(w) + 31)
+		}
+		st0 := srt.PartitionStats(stm.GlobalPartition)
+		rth := srt.MustAttach()
+		for s := 0; s < sweepScans; s++ {
+			// Only the scan's first attempt ages its snapshot: a stale
+			// attempt usually dies (reconstructed reads pin the snapshot,
+			// so the inevitable retention miss aborts it), and re-aging
+			// every retry would keep every attempt doomed forever. The
+			// retries scan fresh and commit; the aged attempt is the one
+			// that exercises — and times — the miss path.
+			aged := false
+			rth.SnapshotAtomic(func(tx *stm.Tx) {
+				attempts++
+				sum := tx.Load(sbase) // first access pins the snapshot
+				if !aged {
+					aged = true
+					// Age the snapshot: wait for ~2 ring revolutions of
+					// appends (bounded, in case the writers stall).
+					start := srt.SnapshotHistory(stm.GlobalPartition).Appends
+					deadline := time.Now().Add(150 * time.Millisecond)
+					for srt.SnapshotHistory(stm.GlobalPartition).Appends < start+2*uint64(hc) &&
+						time.Now().Before(deadline) {
+						time.Sleep(500 * time.Microsecond)
+					}
+				}
+				t0 := time.Now()
+				// The deferred sample also charges aborted attempts'
+				// partial scans (the abort unwinds through this defer).
+				defer func() { scanNs += time.Since(t0).Nanoseconds() }()
+				for c := 1; c < cells; c++ {
+					sum += tx.Load(sbase + stm.Addr(c))
+				}
+				if sum != uint64(cells)*initVal {
+					badSum = sum
+				}
+			})
+		}
+		srt.Detach(rth)
+		stop.Store(true)
+		wg.Wait()
+		if badSum != 0 {
+			return nil, fmt.Errorf("mvscan: stale sweep (hist=%d) observed sum %d, want %d (torn snapshot)",
+				hc, badSum, uint64(cells)*initVal)
+		}
+		d := srt.PartitionStats(stm.GlobalPartition).Sub(st0)
+		sh := srt.SnapshotHistory(stm.GlobalPartition)
+		nsPerCell := float64(scanNs) / float64(attempts*uint64(cells-1))
+		sweepNsPerCell = append(sweepNsPerCell, nsPerCell)
+		out.WriteString(fmt.Sprintf("%-8d %-6d %-10d %-10d %-12d %-11d %.0f\n",
+			hc, sweepScans, attempts-uint64(sweepScans), d.SnapHits, d.SnapMisses, sh.TruncMisses, nsPerCell))
+	}
+
 	return &Report{
 		ID:     "mvscan",
 		Title:  "Multi-version snapshot store: abort-free read-only scans under writers",
 		Output: out.String(),
-		Summary: fmt.Sprintf("snapshot scans: %d commits, 0 aborts, %d reconstructed reads (validate/extend path aborted %d times); writer throughput on/off ratio %.2f",
-			snapRes.scans, snapRes.hits, baseRes.aborts, ratio),
+		Summary: fmt.Sprintf("snapshot scans: %d commits, 0 aborts, %d reconstructed reads (validate/extend path aborted %d times); writer throughput on/off ratio %.2f; stale-scan ns/cell %.0f @hist=64 vs %.0f @hist=4096",
+			snapRes.scans, snapRes.hits, baseRes.aborts, ratio,
+			sweepNsPerCell[0], sweepNsPerCell[len(sweepNsPerCell)-1]),
 	}, nil
 }

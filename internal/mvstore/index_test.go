@@ -1,0 +1,278 @@
+package mvstore
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChainWalkDepth builds a deep chain for one address among unrelated
+// traffic and checks hits at every depth, plus the depth/hit statistics.
+func TestChainWalkDepth(t *testing.T) {
+	b := New(64)
+	// addr 3: value v held on [v, v+1) for v = 1..8, interleaved with
+	// records for other addresses so chain links are non-adjacent in the
+	// ring.
+	for v := uint64(1); v <= 8; v++ {
+		b.Append(3, v, v, v+1)
+		b.Append(100+v, 0, v, v+1)
+	}
+	for v := uint64(1); v <= 8; v++ {
+		got, ok := b.ReadAt(3, v)
+		if !ok || got != v {
+			t.Fatalf("ReadAt(3, %d) = %d, %v; want %d, true", v, got, ok, v)
+		}
+	}
+	if _, ok := b.ReadAt(3, 9); ok {
+		t.Fatal("hit at/after the newest overwrite; memory is authoritative there")
+	}
+	if _, ok := b.ReadAt(3, 0); ok {
+		t.Fatal("hit before the oldest interval")
+	}
+	st := b.Stats()
+	if st.Hits != 8 {
+		t.Fatalf("Hits = %d, want 8", st.Hits)
+	}
+	if st.Probes != 10 {
+		t.Fatalf("Probes = %d, want 10", st.Probes)
+	}
+	// Reading at v walks from the newest record (v=8) down to v: 8-v
+	// chain steps; summed over v=1..8 that is 0+1+...+7 = 28. The two
+	// misses add none (O(1) each: one is answered at the newest record,
+	// the other walks to the chain bottom — 7 steps).
+	if st.ChainSteps < 28 {
+		t.Fatalf("ChainSteps = %d, want >= 28", st.ChainSteps)
+	}
+	if st.TruncMisses != 0 {
+		t.Fatalf("TruncMisses = %d, want 0 (nothing evicted)", st.TruncMisses)
+	}
+}
+
+// TestEvictionIsRetentionMiss checks that a chain cut by ring eviction is
+// counted as a retention miss (the signal the tuner grows capacity on),
+// while an address with no history at all is a plain miss.
+func TestEvictionIsRetentionMiss(t *testing.T) {
+	b := New(8)
+	b.Append(1, 42, 1, 3)
+	for i := 0; i < b.Cap(); i++ {
+		b.Append(100+uint64(i), 0, 3, 4)
+	}
+	if _, ok := b.ReadAt(1, 2); ok {
+		t.Fatal("evicted record still readable")
+	}
+	if _, ok := b.ReadAt(999999, 2); ok {
+		t.Fatal("hit on an address never appended")
+	}
+	st := b.Stats()
+	if st.TruncMisses != 1 {
+		t.Fatalf("TruncMisses = %d, want 1 (only the evicted chain counts)", st.TruncMisses)
+	}
+	if st.Probes != 2 || st.Hits != 0 {
+		t.Fatalf("Probes/Hits = %d/%d, want 2/0", st.Probes, st.Hits)
+	}
+}
+
+// TestIndexStealSafety drives far more distinct addresses through a tiny
+// buffer than its index can hold, forcing entry steals, and checks that
+// every lookup is either a correct hit (records encode val == interval
+// start) or a miss — never a wrong value.
+func TestIndexStealSafety(t *testing.T) {
+	b := New(8) // 8 ring slots, 16 index entries, addresses ≫ both
+	const addrs = 4096
+	for a := uint64(0); a < addrs; a++ {
+		b.Append(a, a, a, a+1)
+	}
+	hits := 0
+	for a := uint64(0); a < addrs; a++ {
+		if v, ok := b.ReadAt(a, a); ok {
+			if v != a {
+				t.Fatalf("ReadAt(%d, %d) = %d: wrong value through stolen index", a, a, v)
+			}
+			hits++
+		}
+	}
+	// The last few appended records are still live and should generally
+	// be reachable; everything older must miss. Require at least one hit
+	// so the test would notice the index degenerating to all-miss.
+	if hits == 0 {
+		t.Fatal("no hits at all: index unusable after steals")
+	}
+	if hits > b.Cap() {
+		t.Fatalf("%d hits from a %d-record ring", hits, b.Cap())
+	}
+}
+
+// TestCapacityClamp pins the New round-up fix: a huge capacity used to
+// overflow the power-of-two loop into an infinite spin; it must clamp to
+// MaxCap instead. Negative capacities get the minimum ring.
+func TestCapacityClamp(t *testing.T) {
+	done := make(chan int, 1)
+	go func() { done <- New(1 << 62).Cap() }()
+	select {
+	case c := <-done:
+		if c != MaxCap {
+			t.Fatalf("New(1<<62).Cap() = %d, want %d", c, MaxCap)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("New(1<<62) hung: capacity round-up overflow")
+	}
+	if c := New(-5).Cap(); c != minCap {
+		t.Fatalf("New(-5).Cap() = %d, want %d", c, minCap)
+	}
+	if c := New(MaxCap).Cap(); c != MaxCap {
+		t.Fatalf("New(MaxCap).Cap() = %d, want %d", c, MaxCap)
+	}
+}
+
+// TestAppendBatch checks the batched publish: records land with correct
+// chains (per-address lookups behave exactly as with singular appends)
+// and the head advances by the batch size in one step.
+func TestAppendBatch(t *testing.T) {
+	b := New(16)
+	b.Append(7, 10, 1, 5)
+	b.AppendBatch([]Record{
+		{Addr: 7, Val: 20, PrevVer: 5, NewVer: 9},
+		{Addr: 8, Val: 30, PrevVer: 2, NewVer: 9},
+	})
+	if got := b.Head(); got != 3 {
+		t.Fatalf("Head = %d, want 3", got)
+	}
+	cases := []struct {
+		addr, at, want uint64
+		ok             bool
+	}{
+		{7, 4, 10, true},
+		{7, 6, 20, true},
+		{8, 3, 30, true},
+		{8, 9, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := b.ReadAt(c.addr, c.at)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Fatalf("ReadAt(%d, %d) = %d, %v; want %d, %v", c.addr, c.at, got, ok, c.want, c.ok)
+		}
+	}
+	b.AppendBatch(nil) // no-op
+	if got := b.Head(); got != 3 {
+		t.Fatalf("Head after empty batch = %d, want 3", got)
+	}
+}
+
+// TestConcurrentChainedAppendRead hammers a tiny ring with writers that
+// all append to the same few addresses — building chains that wrap and
+// evict continuously — while readers walk them. Hits must satisfy the
+// interval invariant (val == interval start <= snapshot); everything else
+// must be a clean miss. Run with -race this exercises the seqlock, the
+// index CASes and the chain-walk validation under maximum churn.
+func TestConcurrentChainedAppendRead(t *testing.T) {
+	b := New(16) // small: constant wrap + eviction
+	const (
+		writers = 4
+		perW    = 3000
+		readers = 3
+		addrs   = 4
+	)
+	var readerWG, writerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			at := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				at++
+				for a := uint64(0); a < addrs; a++ {
+					if v, ok := b.ReadAt(a, at%1000); ok {
+						if v > at%1000 {
+							t.Errorf("ReadAt(%d, %d) = %d: interval violated", a, at%1000, v)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 1; i <= perW; i++ {
+				ver := uint64(i)
+				// All writers share the address space: same-address
+				// appends race (the engine serializes them; the store
+				// must merely stay safe and miss-only under the race).
+				b.Append(uint64((w+i)%addrs), ver, ver, ver+1)
+				if i%64 == 0 {
+					b.AppendBatch([]Record{
+						{Addr: uint64(i % addrs), Val: ver, PrevVer: ver, NewVer: ver + 1},
+						{Addr: uint64((i + 1) % addrs), Val: ver, PrevVer: ver, NewVer: ver + 1},
+					})
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	st := b.Stats()
+	if st.Appends == 0 || st.Live == 0 {
+		t.Fatalf("stats after torture: %+v", st)
+	}
+}
+
+// TestReadAtMissCostFlat is the O(1)-miss acceptance check in test form:
+// the cost of a retention miss (the stale-scan path) must not scale with
+// the ring capacity. It measures a fixed working set of evicted addresses
+// against HistCap 64 and 4096 and requires the per-miss cost ratio to
+// stay under 2x — the linear ring scan this replaces measured ~64x here.
+func TestReadAtMissCostFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const probeAddrs = 64
+	build := func(capacity int) *Buffer {
+		b := New(capacity)
+		// History for the probed addresses...
+		for a := uint64(0); a < probeAddrs; a++ {
+			b.Append(a, 1, 1, 2)
+		}
+		// ...evicted by a full ring of unrelated records.
+		for i := 0; i < capacity; i++ {
+			b.Append(1<<20+uint64(i), 2, 2, 3)
+		}
+		return b
+	}
+	measure := func(b *Buffer) time.Duration {
+		const iters = 1 << 19
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, ok := b.ReadAt(uint64(i%probeAddrs), 1); ok {
+				t.Fatal("expected a miss: record was evicted")
+			}
+		}
+		return time.Since(start)
+	}
+	small, large := build(64), build(4096)
+	measure(small) // warm both paths before timing
+	measure(large)
+	var bestS, bestL time.Duration
+	for i := 0; i < 5; i++ {
+		if d := measure(small); i == 0 || d < bestS {
+			bestS = d
+		}
+		if d := measure(large); i == 0 || d < bestL {
+			bestL = d
+		}
+	}
+	ratio := float64(bestL) / float64(bestS)
+	t.Logf("miss cost: hist=64 %v, hist=4096 %v (ratio %.2f)", bestS, bestL, ratio)
+	if ratio > 2.0 {
+		t.Fatalf("miss cost scaled with capacity: hist=64 %v vs hist=4096 %v (%.1fx, want <= 2x)",
+			bestS, bestL, ratio)
+	}
+}

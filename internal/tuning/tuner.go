@@ -44,12 +44,16 @@
 //     internal/mvstore), so snapshot readers stop aborting or extending
 //     under the writers. Demand matters more than the commit mix:
 //     starving snapshot readers barely commit, so their share of commits
-//     stays invisible while their misses do not. While misses persist
-//     with a store attached, capacity doubles (retention growth, up to
-//     the engine clamp); when snapshot demand disappears on an
-//     update-active partition the store is dropped, removing the
-//     commit-path append cost. Every direction requires its condition to
-//     hold for Hysteresis consecutive epochs.
+//     stays invisible while their misses do not. With a store attached,
+//     growth keys on the store's own lookup statistics
+//     (mvstore.Stats.TruncMisses, the misses caused by an evicted chain
+//     link): while retention misses persist, capacity doubles (up to the
+//     engine clamp) — misses no capacity can cure (addresses with no
+//     recorded history, snapshots outside the span) no longer trigger
+//     growth. When snapshot demand disappears on an update-active
+//     partition the store is dropped, removing the commit-path append
+//     cost. Every direction requires its condition to hold for
+//     Hysteresis consecutive epochs.
 //
 // The tuner works on per-epoch deltas of the engine's monotonic
 // per-partition counters; actuation goes through Engine.Reconfigure,
@@ -231,10 +235,16 @@ type partTuneState struct {
 	// or dropping the store does not change the read/write protocol, so
 	// there is no regret probe — the cost it weighs (commit-path appends
 	// vs. unserved snapshot reads) is captured directly by the decision
-	// inputs.
+	// inputs. snapPrevTrunc remembers the store's cumulative retention-
+	// miss reading (mvstore.Stats.TruncMisses) from the previous epoch so
+	// the growth step works on deltas; a reading below it means the store
+	// was replaced (Reconfigure installs a fresh buffer) and the epoch is
+	// treated as starting from zero.
 	snapOnStreak   int
 	snapGrowStreak int
 	snapOffStreak  int
+	snapPrevTrunc  uint64
+	snapPrevSteals uint64
 
 	climb         climbState
 	stableEpochs  int
@@ -633,15 +643,35 @@ func (t *Tuner) snapStep(p *core.Partition, d *core.PartStats, st *partTuneState
 		return Decision{}, false
 	}
 	// Retention growth: with a store attached and retention sufficient,
-	// steady-state misses are exactly zero (that is the design's whole
-	// point), so ANY persistent miss means records are being evicted
-	// faster than readers consume them — and an undersized ring throttles
-	// its own miss count (readers abort early and back off), so a volume
-	// threshold like the attach condition would never fire. Double the
-	// ring (Normalize clamps the ceiling; stop proposing once pinned
-	// there). Hysteresis filters the transient misses right after attach,
-	// when stale orecs still predate the store.
-	if d.SnapMisses > 0 {
+	// steady-state retention misses are exactly zero (that is the
+	// design's whole point), so ANY persistent one means records are
+	// being evicted faster than readers consume them — and an undersized
+	// ring throttles its own miss count (readers abort early and back
+	// off), so a volume threshold like the attach condition would never
+	// fire. The store's own lookup statistics say precisely which misses
+	// capacity can cure: TruncMisses counts lookups that died on an
+	// evicted chain link (retention shortfall), as opposed to lookups for
+	// addresses with no recorded history or snapshots outside the
+	// recorded span, which no amount of ring would serve. Key growth on
+	// that delta — SnapMisses alone (the engine-side fallback count)
+	// conflates the two and over-grows on cold stores. Double the ring
+	// (Normalize clamps the ceiling; stop proposing once pinned there).
+	// Hysteresis filters the transient misses right after attach, when
+	// stale orecs still predate the store.
+	hist := t.eng.SnapshotHistory(p.ID())
+	prevTrunc, prevSteals := st.snapPrevTrunc, st.snapPrevSteals
+	st.snapPrevTrunc, st.snapPrevSteals = hist.TruncMisses, hist.Steals
+	if hist.TruncMisses < prevTrunc || hist.Steals < prevSteals {
+		prevTrunc, prevSteals = 0, 0 // fresh buffer since last epoch (store was replaced)
+	}
+	truncDelta := hist.TruncMisses - prevTrunc
+	stealsDelta := hist.Steals - prevSteals
+	// Steals (index entries reclaimed because the appended address set
+	// outgrew the index) are also capacity-curable, but only matter when
+	// readers actually missed this epoch — write-only churn over a huge
+	// address universe steals constantly and growing for it would buy
+	// nothing.
+	if truncDelta > 0 || (stealsDelta > 0 && d.SnapMisses > 0) {
 		st.snapGrowStreak++
 	} else {
 		st.snapGrowStreak = 0
@@ -651,9 +681,13 @@ func (t *Tuner) snapStep(p *core.Partition, d *core.PartStats, st *partTuneState
 		newCfg := cfg
 		newCfg.HistCap = cfg.HistCap * 2
 		if grown := newCfg.Normalize(); grown.HistCap > cfg.HistCap {
+			depth := float64(0)
+			if hist.Hits > 0 {
+				depth = float64(hist.ChainSteps) / float64(hist.Hits)
+			}
 			return t.apply(p, cfg, newCfg, st,
-				fmt.Sprintf("%d unserved snapshot reads/epoch despite store: grow retention %d -> %d records",
-					d.SnapMisses, cfg.HistCap, grown.HistCap))
+				fmt.Sprintf("%d retention misses/epoch despite store (chain depth %.1f/hit): grow retention %d -> %d records",
+					truncDelta, depth, cfg.HistCap, grown.HistCap))
 		}
 	}
 	if demand == 0 && d.UpdateCommits > 0 {

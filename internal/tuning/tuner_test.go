@@ -567,3 +567,66 @@ func TestSnapshotAdaptationDisabledByDefault(t *testing.T) {
 		t.Fatal("AdaptSnapshot should default to off")
 	}
 }
+
+// TestSnapshotRetentionGrowth checks the growth side of heuristic (5):
+// an attached but undersized store whose lookups keep dying on evicted
+// chain links (mvstore TruncMisses) gets its capacity doubled, while a
+// store that misses only for lack of recorded history does not grow.
+func TestSnapshotRetentionGrowth(t *testing.T) {
+	e := newEngine(t)
+	startCfg := core.DefaultPartConfig()
+	startCfg.HistCap = 8 // tiny ring: a burst of commits evicts everything
+	if err := e.Reconfigure(core.GlobalPartition, startCfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.HillClimb = false
+	cfg.AdaptSnapshot = true
+	cfg.MinCommits = 10
+	cfg.Hysteresis = 2
+	tn := New(e, cfg)
+
+	th := e.MustAttachThread()
+	defer e.DetachThread(th)
+	var a memory.Addr
+	th.Atomic(func(tx *core.Tx) {
+		a = tx.Alloc(memory.DefaultSite, 2)
+		tx.Store(a, 0)
+		tx.Store(a+1, 0)
+	})
+	// Each burst: a snapshot reader pins its snapshot on word 0, then a
+	// helper thread commits enough updates to word 1 to wrap the 8-record
+	// ring before the reader looks — the covering record is guaranteed
+	// evicted, producing a retention miss on every burst.
+	burst := func(th *core.Thread) {
+		for i := 0; i < 30; i++ {
+			th.Atomic(func(tx *core.Tx) { tx.Store(a, tx.Load(a)+1) })
+			th.SnapshotAtomic(func(tx *core.Tx) {
+				_ = tx.Load(a)
+				if tx.SnapshotMode() {
+					th2 := e.MustAttachThread()
+					for j := 0; j < 16; j++ {
+						th2.Atomic(func(wtx *core.Tx) { wtx.Store(a+1, wtx.Load(a+1)+1) })
+					}
+					e.DetachThread(th2)
+				}
+				_ = tx.Load(a + 1)
+			})
+		}
+	}
+	grown := false
+	for epoch := 0; epoch < 20 && !grown; epoch++ {
+		burst(th)
+		for _, d := range tn.Tick() {
+			if d.New.HistCap > d.Old.HistCap && d.Old.HistCap == startCfg.HistCap {
+				grown = true
+			}
+		}
+	}
+	if !grown {
+		t.Fatalf("undersized store never grew on retention misses; trace: %v", tn.Trace())
+	}
+	if got := e.Partition(core.GlobalPartition).Config().HistCap; got < 2*startCfg.HistCap {
+		t.Fatalf("HistCap = %d after growth, want >= %d", got, 2*startCfg.HistCap)
+	}
+}
