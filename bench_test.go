@@ -176,6 +176,91 @@ func BenchmarkSnapshotReadAtHit(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotObjectRead prices object reconstruction from the
+// snapshot store: an 8-word object written by one commit, read back at a
+// past snapshot either word by word (8 index probes + 8 chain walks) or
+// through the grouped-record range lookup (1 index probe, neighbours
+// served from the batch's contiguous ring slots). The probes/op metric —
+// straight from the store's lookup stats — is the contract: grouped must
+// probe ~1, per-word exactly 8.
+func BenchmarkSnapshotObjectRead(b *testing.B) {
+	const objWords = 8
+	setup := func() *mvstore.Buffer {
+		buf := mvstore.New(1024)
+		recs := make([]mvstore.Record, objWords)
+		for i := range recs {
+			recs[i] = mvstore.Record{Addr: 64 + uint64(i), Val: uint64(100 + i), PrevVer: 1, NewVer: 5}
+		}
+		buf.AppendBatch(recs)
+		return buf
+	}
+	b.Run("per-word", func(b *testing.B) {
+		buf := setup()
+		start := buf.Stats().Probes
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for w := uint64(0); w < objWords; w++ {
+				if _, ok := buf.ReadAt(64+w, 3); !ok {
+					b.Fatal("expected a hit")
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(buf.Stats().Probes-start)/float64(b.N), "probes/op")
+	})
+	b.Run("grouped", func(b *testing.B) {
+		buf := setup()
+		start := buf.Stats().Probes
+		var dst [objWords]uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !buf.ReadRangeAt(64, 3, dst[:]) {
+				b.Fatal("expected a range hit")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(buf.Stats().Probes-start)/float64(b.N), "probes/op")
+	})
+}
+
+// BenchmarkRefLoad is the typed-object hot path: loading an 8-word
+// object through Ref.Load (one footprint touch, one multi-word read)
+// against the same words loaded one at a time.
+func BenchmarkRefLoad(b *testing.B) {
+	type obj struct{ A, B, C, D, E, F, G, H uint64 }
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var r stm.Ref[obj]
+	th.Run(func(tx *stm.Tx) error {
+		r = stm.AllocRef[obj](tx, stm.SiteID(0))
+		r.Store(tx, obj{A: 1, H: 8})
+		return nil
+	})
+	b.Run("ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			th.Run(func(tx *stm.Tx) error {
+				o := r.Load(tx)
+				_ = o
+				return nil
+			}, stm.ReadOnly())
+		}
+	})
+	b.Run("per-word", func(b *testing.B) {
+		base := r.Addr()
+		for i := 0; i < b.N; i++ {
+			th.Run(func(tx *stm.Tx) error {
+				var s uint64
+				for w := 0; w < 8; w++ {
+					s += tx.Load(base + stm.Addr(w))
+				}
+				_ = s
+				return nil
+			}, stm.ReadOnly())
+		}
+	})
+}
+
 // --- primitive-cost micro-benchmarks ---
 
 // BenchmarkUncontendedIncrement measures the base cost of a minimal

@@ -1,11 +1,13 @@
 // Bankaudit: invariant-preserving money transfers with concurrent
-// consistent audits. Demonstrates that read-only transactions always see
-// a consistent snapshot (the account total never wavers) while update
-// transactions run at full speed — and shows the per-partition statistics
-// that drive the runtime tuner.
+// consistent audits, on the options-driven Run API. Demonstrates that
+// read-only transactions always see a consistent snapshot (the account
+// total never wavers) while update transactions run at full speed, that
+// MaxAttempts/OnAbort give callers control over the retry loop — and
+// shows the per-partition statistics that drive the runtime tuner.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -26,18 +28,23 @@ func main() {
 
 	setup := rt.MustAttach()
 	var arr *txds.CounterArray
-	setup.Atomic(func(tx *stm.Tx) {
+	setup.Run(func(tx *stm.Tx) error {
 		arr = txds.NewCounterArray(tx, rt, "bank.accounts", accounts, initBal)
+		return nil
 	})
 	rt.Detach(setup)
 
 	var (
 		stop      atomic.Bool
 		transfers atomic.Uint64
+		gaveUp    atomic.Uint64
+		retries   atomic.Uint64
 		audits    atomic.Uint64
 		wg        sync.WaitGroup
 	)
-	// Transfer workers.
+	// Transfer workers. Each transfer runs with a bounded retry budget
+	// and an abort observer — under pathological contention the worker
+	// moves on instead of spinning forever.
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
 		go func(seed uint64) {
@@ -47,7 +54,16 @@ func main() {
 			rng := workload.NewRng(seed)
 			for !stop.Load() {
 				from, to := rng.Intn(accounts), rng.Intn(accounts)
-				th.Atomic(func(tx *stm.Tx) { arr.Transfer(tx, from, to, 1+rng.Uint64()%50) })
+				err := th.Run(func(tx *stm.Tx) error {
+					arr.Transfer(tx, from, to, 1+rng.Uint64()%50)
+					return nil
+				},
+					stm.MaxAttempts(64),
+					stm.OnAbort(func(stm.AbortCause, int) { retries.Add(1) }))
+				if errors.Is(err, stm.ErrMaxAttempts) {
+					gaveUp.Add(1)
+					continue
+				}
 				transfers.Add(1)
 			}
 		}(uint64(w) + 1)
@@ -62,7 +78,10 @@ func main() {
 			defer rt.Detach(th)
 			for !stop.Load() {
 				var sum uint64
-				th.ReadOnlyAtomic(func(tx *stm.Tx) { sum = arr.Sum(tx) })
+				th.Run(func(tx *stm.Tx) error {
+					sum = arr.Sum(tx)
+					return nil
+				}, stm.ReadOnly())
 				if sum != accounts*initBal {
 					panic(fmt.Sprintf("audit saw inconsistent total %d", sum))
 				}
@@ -75,8 +94,8 @@ func main() {
 	stop.Store(true)
 	wg.Wait()
 
-	fmt.Printf("transfers: %d, audits: %d — every audit saw exactly %d\n",
-		transfers.Load(), audits.Load(), accounts*initBal)
+	fmt.Printf("transfers: %d (%d retried attempts, %d hit MaxAttempts), audits: %d — every audit saw exactly %d\n",
+		transfers.Load(), retries.Load(), gaveUp.Load(), audits.Load(), accounts*initBal)
 	s := rt.PartitionStats(stm.GlobalPartition)
 	fmt.Printf("commits=%d aborts=%d (validation=%d, locked=%d)\n",
 		s.Commits, s.TotalAborts(),

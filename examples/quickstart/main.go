@@ -1,6 +1,7 @@
 // Quickstart: the smallest complete use of the partitioned STM — a
-// shared counter and a sorted list updated by concurrent goroutines, with
-// automatic partitioning discovered from a profiling run.
+// shared typed counter object and a sorted list updated by concurrent
+// goroutines through the options-driven Run API, with automatic
+// partitioning discovered from a profiling run.
 package main
 
 import (
@@ -10,6 +11,13 @@ import (
 	"repro/stm"
 	"repro/txds"
 )
+
+// Counter is a typed heap object: any pointer-free struct round-trips
+// through a stm.Ref handle with one multi-word read or write.
+type Counter struct {
+	Hits  uint64
+	Total uint64
+}
 
 func main() {
 	// A runtime owns the transactional heap (sized in 64-bit words).
@@ -21,18 +29,20 @@ func main() {
 
 	counterSite := rt.RegisterSite("quickstart.counter")
 	setup := rt.MustAttach()
-	var counter stm.Addr
+	var counter stm.Ref[Counter]
 	var list *txds.List
-	setup.Atomic(func(tx *stm.Tx) {
-		counter = tx.Alloc(counterSite, 1)
-		tx.Store(counter, 0)
+	setup.Run(func(tx *stm.Tx) error {
+		counter = stm.AllocRef[Counter](tx, counterSite)
+		counter.Store(tx, Counter{})
 		list = txds.NewList(tx, rt, "quickstart.list")
+		return nil
 	})
 	// Touch the list so the profiler sees its head→node links.
-	setup.Atomic(func(tx *stm.Tx) {
+	setup.Run(func(tx *stm.Tx) error {
 		for k := uint64(0); k < 8; k++ {
 			list.Insert(tx, k, k*k)
 		}
+		return nil
 	})
 	rt.Detach(setup)
 
@@ -42,7 +52,7 @@ func main() {
 	}
 	fmt.Print(plan.Describe(rt.Sites()))
 
-	// Concurrent workers: every Atomic block is one serializable
+	// Concurrent workers: every Run block is one serializable
 	// transaction; conflicts retry automatically.
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
@@ -52,9 +62,13 @@ func main() {
 			th := rt.MustAttach()
 			defer rt.Detach(th)
 			for i := 0; i < 1000; i++ {
-				th.Atomic(func(tx *stm.Tx) {
-					tx.Store(counter, tx.Load(counter)+1)
+				th.Run(func(tx *stm.Tx) error {
+					c := counter.Load(tx)
+					c.Hits++
+					c.Total += id
+					counter.Store(tx, c)
 					list.Set(tx, id*1000+uint64(i), uint64(i))
+					return nil
 				})
 			}
 		}(uint64(w))
@@ -63,11 +77,15 @@ func main() {
 
 	check := rt.MustAttach()
 	defer rt.Detach(check)
-	check.Atomic(func(tx *stm.Tx) {
-		fmt.Printf("counter = %d (want 4000)\n", tx.Load(counter))
+	// A read-only transaction: the ReadOnly option takes the cheap
+	// no-write-set path (and upgrades transparently if it ever writes).
+	check.Run(func(tx *stm.Tx) error {
+		c := counter.Load(tx)
+		fmt.Printf("counter hits = %d (want 4000), total = %d (want 6000)\n", c.Hits, c.Total)
 		// Workers upsert keys 0..3999; the eight setup keys are a subset.
 		fmt.Printf("list size = %d (want 4000)\n", list.Len(tx))
-	})
+		return nil
+	}, stm.ReadOnly())
 	for _, s := range rt.Stats() {
 		if s.Commits > 0 {
 			fmt.Printf("partition %-22s commits=%-6d aborts=%d\n", s.Name, s.Commits, s.TotalAborts())

@@ -18,6 +18,16 @@
 // and keeps cross-partition transactions serializable through snapshot
 // alignment and commit-time validation. See TimeBaseMode.
 //
+// Transactions run through Engine.Run (Thread.Run), the single
+// options-driven entrypoint: TxOpt functional options select read-only,
+// snapshot, bounded-retry (MaxAttempts) and abort-observing (OnAbort)
+// behaviour, and the legacy Atomic/ReadOnlyAtomic/SnapshotAtomic
+// entrypoints are thin wrappers over it. Word access is single
+// (Tx.Load/Store) or multi-word (Tx.LoadWords/StoreWords/LoadRange); the
+// multi-word forms pay per-access overhead once per object and handle
+// words sharing an orec with one protocol round trip — the primitives
+// behind the public typed object layer (stm.Ref).
+//
 // Per-transaction bookkeeping is footprint-bounded: the read set is
 // deduplicated per orec and the write set holds one entry per unique
 // address, so validation, extension and commit cost scale with the unique

@@ -499,21 +499,24 @@ func (e *Engine) AllStats() []PartStats {
 }
 
 // Atomic runs fn transactionally on thread th, retrying with randomized
-// exponential backoff until the transaction commits.
+// exponential backoff until the transaction commits. It is Run with no
+// options, kept as the concise entrypoint for the common case.
 func (e *Engine) Atomic(th *Thread, fn func(*Tx)) {
-	e.run(th, false, false, func(tx *Tx) error { fn(tx); return nil })
+	e.run(th, runCfg{}, func(tx *Tx) error { fn(tx); return nil })
 }
 
 // AtomicErr runs fn transactionally; if fn returns a non-nil error the
 // transaction aborts (all effects discarded) and the error is returned.
+// Equivalent to Run(th, fn) with no options.
 func (e *Engine) AtomicErr(th *Thread, fn func(*Tx) error) error {
-	return e.run(th, false, false, fn)
+	return e.run(th, runCfg{}, fn)
 }
 
 // readOnlyAtomic runs fn with the read-only fast path; it upgrades to an
-// update transaction transparently if fn writes.
+// update transaction transparently if fn writes. Equivalent to Run with
+// the ReadOnly option.
 func (e *Engine) readOnlyAtomic(th *Thread, fn func(*Tx)) {
-	e.run(th, true, false, func(tx *Tx) error { fn(tx); return nil })
+	e.run(th, runCfg{readOnly: true}, func(tx *Tx) error { fn(tx); return nil })
 }
 
 // SnapshotAtomic runs fn as a snapshot read-only transaction: the
@@ -524,14 +527,16 @@ func (e *Engine) readOnlyAtomic(th *Thread, fn func(*Tx)) {
 // it commits without ever aborting, regardless of concurrent writers. A
 // partition without a store (or an evicted record) degrades to the
 // ordinary validate/extend read path; a write inside fn upgrades to a
-// normal update transaction, as in ReadOnlyAtomic.
+// normal update transaction, as in ReadOnlyAtomic. Equivalent to Run with
+// the Snapshot option.
 func (e *Engine) SnapshotAtomic(th *Thread, fn func(*Tx)) {
-	e.run(th, true, true, func(tx *Tx) error { fn(tx); return nil })
+	e.run(th, runCfg{readOnly: true, snap: true}, func(tx *Tx) error { fn(tx); return nil })
 }
 
-func (e *Engine) run(th *Thread, readOnly, snap bool, fn func(*Tx) error) error {
+func (e *Engine) run(th *Thread, cfg runCfg, fn func(*Tx) error) error {
 	tx := &th.tx
 	th.beginSeq.Store(e.txSeq.Add(1))
+	readOnly, snap := cfg.readOnly, cfg.snap
 	attempt := 0
 	for {
 		attempt++
@@ -553,7 +558,14 @@ func (e *Engine) run(th *Thread, readOnly, snap bool, fn func(*Tx) error) error 
 			return nil
 		case userErr != nil:
 			return userErr
-		case cause == AbortUpgrade:
+		}
+		if cfg.onAbort != nil {
+			cfg.onAbort(cause, attempt)
+		}
+		if cfg.maxAttempts > 0 && attempt >= cfg.maxAttempts {
+			return ErrMaxAttempts
+		}
+		if cause == AbortUpgrade {
 			readOnly = false
 			snap = false
 			continue

@@ -1,0 +1,80 @@
+package core
+
+import "errors"
+
+// ErrMaxAttempts is returned by Run when a MaxAttempts budget is exhausted
+// before the transaction commits. The attempt that hit the limit has been
+// rolled back completely; the caller may simply call Run again to keep
+// trying.
+var ErrMaxAttempts = errors.New("core: transaction aborted more than MaxAttempts times")
+
+// runCfg is the resolved execution mode of one Run call. The zero value is
+// a plain update transaction retried until commit — exactly Atomic.
+type runCfg struct {
+	readOnly bool
+	snap     bool
+	// maxAttempts bounds the number of attempts (0 = retry forever). When
+	// the bound is hit Run returns ErrMaxAttempts.
+	maxAttempts int
+	// onAbort, when set, observes every aborted attempt.
+	onAbort func(cause AbortCause, attempt int)
+}
+
+// TxOpt is a functional option selecting how Run executes a transaction.
+// Options compose left to right; conflicting options resolve to the last
+// one applied.
+type TxOpt func(*runCfg)
+
+// ReadOnly marks the transaction read-only: it takes the read-only fast
+// path (no write set, no locks, cheap commit). A write inside the
+// transaction restarts it transparently in update mode, so the hint is
+// safe even when occasionally wrong.
+func ReadOnly() TxOpt {
+	return func(c *runCfg) { c.readOnly = true }
+}
+
+// Snapshot runs the transaction in snapshot mode (implies ReadOnly): reads
+// are answered at a snapshot pinned at the first access, with overwritten
+// values reconstructed from the touched partitions' multi-version stores
+// (PartConfig.HistCap) — under sufficient retention the transaction never
+// validates, extends or aborts, no matter how heavy the write traffic.
+// Partitions without a store, evicted records, and writes inside the
+// transaction all degrade gracefully (see Engine.SnapshotAtomic).
+func Snapshot() TxOpt {
+	return func(c *runCfg) { c.readOnly, c.snap = true, true }
+}
+
+// MaxAttempts bounds the retry loop: after n aborted attempts Run gives up
+// and returns ErrMaxAttempts (n <= 0 means unlimited, the default). Every
+// abort cause counts against the budget, including explicit Tx.Abort and
+// the internal read-only→update upgrade restart.
+func MaxAttempts(n int) TxOpt {
+	return func(c *runCfg) { c.maxAttempts = n }
+}
+
+// OnAbort installs a hook observing every aborted attempt: it runs after
+// the attempt has been rolled back (outside the transaction — it must not
+// touch the Tx) with the abort cause and the 1-based attempt number. Use
+// it for backpressure, logging, or tests counting retries.
+func OnAbort(fn func(cause AbortCause, attempt int)) TxOpt {
+	return func(c *runCfg) { c.onAbort = fn }
+}
+
+// Run runs fn as a transaction on thread th, in the mode selected by opts,
+// retrying on conflict until it commits (or until a MaxAttempts budget is
+// exhausted). With no options it is exactly AtomicErr: an update
+// transaction retried forever, whose user error aborts and surfaces. This
+// is the single entrypoint every other transaction method delegates to.
+func (e *Engine) Run(th *Thread, fn func(*Tx) error, opts ...TxOpt) error {
+	var cfg runCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return e.run(th, cfg, fn)
+}
+
+// Run runs fn as a transaction in the mode selected by opts. See
+// Engine.Run; Thread.Atomic and friends are thin wrappers over this.
+func (th *Thread) Run(fn func(*Tx) error, opts ...TxOpt) error {
+	return th.eng.Run(th, fn, opts...)
+}

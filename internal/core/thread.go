@@ -103,16 +103,25 @@ func (th *Thread) statsFor(p PartID) *PartThreadStats {
 
 // Atomic runs fn as a transaction, retrying on conflict until it commits.
 // See Engine.Atomic.
+//
+// Deprecated: equivalent to Run with no options (modulo fn's missing
+// error return). Kept as a thin wrapper; new code should prefer Run.
 func (th *Thread) Atomic(fn func(*Tx)) { th.eng.Atomic(th, fn) }
 
 // AtomicErr runs fn as a transaction; a non-nil error from fn aborts the
 // transaction (its effects are discarded) and is returned to the caller.
 // Conflict aborts still retry.
+//
+// Deprecated: identical to Run with no options. Kept as a thin wrapper;
+// new code should prefer Run.
 func (th *Thread) AtomicErr(fn func(*Tx) error) error { return th.eng.AtomicErr(th, fn) }
 
 // ReadOnlyAtomic runs fn as a read-only transaction. If fn attempts a
 // write the transaction restarts in update mode, so the hint is safe even
 // when occasionally wrong.
+//
+// Deprecated: equivalent to Run with the ReadOnly option. Kept as a thin
+// wrapper; new code should prefer Run.
 func (th *Thread) ReadOnlyAtomic(fn func(*Tx)) { th.eng.readOnlyAtomic(th, fn) }
 
 // SnapshotAtomic runs fn as a snapshot read-only transaction: reads are
@@ -123,4 +132,7 @@ func (th *Thread) ReadOnlyAtomic(fn func(*Tx)) { th.eng.readOnlyAtomic(th, fn) }
 // aborts, no matter how heavy the write traffic. Partitions without a
 // store, evicted records, and writes inside fn all degrade gracefully to
 // ReadOnlyAtomic behaviour. See Engine.SnapshotAtomic.
+//
+// Deprecated: equivalent to Run with the Snapshot option. Kept as a thin
+// wrapper; new code should prefer Run.
 func (th *Thread) SnapshotAtomic(fn func(*Tx)) { th.eng.SnapshotAtomic(th, fn) }

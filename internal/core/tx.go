@@ -420,13 +420,9 @@ func (tx *Tx) Load(addr memory.Addr) uint64 {
 	ti := tx.touch(p, false)
 
 	// Read-after-write: buffered values win; write-through values are
-	// already in memory and flow through the normal paths below. The
-	// filter's no-false-negative guarantee carries the correctness here:
-	// a clear bit proves addr was never written, so memory is current.
-	if len(tx.ws) > 0 && tx.wsFilt.mayContain(uint64(addr)) {
-		if i := tx.wsFind(addr); i >= 0 && tx.ws[i].mode != modeWT {
-			return tx.ws[i].val
-		}
+	// already in memory and flow through the normal paths below.
+	if v, ok := tx.wsBuffered(addr); ok {
+		return v
 	}
 
 	o := ps.table.of(addr)
@@ -440,6 +436,19 @@ func (tx *Tx) Load(addr memory.Addr) uint64 {
 		return tx.loadVisible(ps, o, addr, st, ti)
 	}
 	return tx.loadInvisible(ps, o, addr, st, ti)
+}
+
+// wsBuffered returns the transaction's own buffered value for addr, when
+// a write-back or commit-time write covers it (read-after-write). The
+// filter's no-false-negative guarantee carries the correctness here: a
+// clear bit proves addr was never written, so memory is current.
+func (tx *Tx) wsBuffered(addr memory.Addr) (uint64, bool) {
+	if len(tx.ws) > 0 && tx.wsFilt.mayContain(uint64(addr)) {
+		if i := tx.wsFind(addr); i >= 0 && tx.ws[i].mode != modeWT {
+			return tx.ws[i].val, true
+		}
+	}
+	return 0, false
 }
 
 // loadInvisible implements the timestamp-validated invisible read: sample
@@ -633,6 +642,312 @@ func (tx *Tx) wsPut(addr memory.Addr, v uint64, o *orec, ps *partState, mode wri
 	}
 	tx.ws = append(tx.ws, writeEntry{addr: addr, val: v, o: o, ps: ps, mode: mode})
 	tx.wsFilterAdd(addr)
+}
+
+// blockChunk bounds a multi-word access at the enclosing heap block: all
+// words of one block share a site, hence a partition, so per-chunk state
+// (partition, orec table, stats block, touch entry) is resolved once.
+func (tx *Tx) blockChunk(addr memory.Addr, n int) int {
+	blockWords := uint64(1) << tx.eng.blockShift
+	rem := blockWords - (uint64(addr) & (blockWords - 1))
+	if uint64(n) > rem {
+		return int(rem)
+	}
+	return n
+}
+
+// LoadWords transactionally reads the len(dst) consecutive words starting
+// at addr into dst. It is equivalent to len(dst) calls of Load but pays
+// the per-access overhead (partition lookup, footprint touch, statistics)
+// once per object instead of once per word, reads words sharing an
+// ownership record under a single lock-sample/re-sample pair with one
+// read-set entry, and — in snapshot mode — reconstructs a whole object
+// from the partition's multi-version store with one index probe when the
+// object was written by a single commit (mvstore.ReadRangeAt). This is
+// the primitive behind the typed object layer (stm.Ref).
+func (tx *Tx) LoadWords(addr memory.Addr, dst []uint64) {
+	if len(dst) == 0 {
+		return
+	}
+	tx.checkKilled()
+	tx.tick()
+	for len(dst) > 0 {
+		c := tx.blockChunk(addr, len(dst))
+		tx.loadWordsChunk(addr, dst[:c])
+		addr += memory.Addr(c)
+		dst = dst[c:]
+	}
+}
+
+// loadWordsChunk reads a word range confined to one heap block (one
+// partition): per-orec groups of consecutive words are read together, and
+// buffered writes (read-after-write) are honored per word.
+func (tx *Tx) loadWordsChunk(addr memory.Addr, dst []uint64) {
+	p := tx.eng.partOf(tx.topo, addr)
+	ps := p.loadState()
+	st := tx.th.statsFor(p.id)
+	st.Loads.Add(uint64(len(dst)))
+	ti := tx.touch(p, false)
+	if ps.cfg.Read == VisibleReads && !tx.snapMode {
+		tx.hasVisible = true
+		for i := range dst {
+			a := addr + memory.Addr(i)
+			if v, ok := tx.wsBuffered(a); ok {
+				dst[i] = v
+				continue
+			}
+			dst[i] = tx.loadVisible(ps, ps.table.of(a), a, st, ti)
+		}
+		return
+	}
+	i := 0
+	for i < len(dst) {
+		a := addr + memory.Addr(i)
+		if v, ok := tx.wsBuffered(a); ok {
+			dst[i] = v
+			i++
+			continue
+		}
+		o := ps.table.of(a)
+		end := i + 1
+		for end < len(dst) {
+			na := addr + memory.Addr(end)
+			if ps.table.of(na) != o {
+				break
+			}
+			if _, ok := tx.wsBuffered(na); ok {
+				break
+			}
+			end++
+		}
+		if tx.snapMode {
+			i = tx.loadSnapWords(ps, o, addr, dst, i, end, st, ti)
+			continue
+		}
+		tx.loadGroupInvisible(ps, o, a, dst[i:end], st, ti)
+		i = end
+	}
+}
+
+// loadGroupInvisible is loadInvisible generalized to a run of consecutive
+// words sharing one ownership record: the whole group is read between one
+// lock sample and one re-sample, and contributes one read-set entry — the
+// protocol steps a per-word loop would repeat per word happen once per
+// orec.
+func (tx *Tx) loadGroupInvisible(ps *partState, o *orec, base memory.Addr, out []uint64, st *PartThreadStats, ti int) {
+	spins := 0
+	for {
+		l1 := o.lock.Load()
+		if isLocked(l1) {
+			if lockOwner(l1) == tx.th.slot {
+				// Self-locked: memory is stable under our own lock (WB
+				// buffered values were peeled off by the caller).
+				for i := range out {
+					out[i] = tx.eng.arena.LoadAtomic(base + memory.Addr(i))
+				}
+				return
+			}
+			tx.cmConflict(ps, o, l1, AbortLockedOnRead, &spins, st)
+			continue
+		}
+		for i := range out {
+			out[i] = tx.eng.arena.LoadAtomic(base + memory.Addr(i))
+		}
+		if o.lock.Load() != l1 {
+			spins++
+			continue
+		}
+		if ver := versionOf(l1); ver > tx.touched[ti].snap {
+			if !tx.extend() {
+				tx.abort(AbortValidation)
+			}
+			continue // re-read under the extended snapshot
+		}
+		// One entry per orec, exactly as the per-word path deduplicates.
+		if tx.rsFilt.mayContain(orecKey(o)) {
+			if i := tx.rsFind(o); i >= 0 && tx.rs[i].ver == versionOf(l1) {
+				return
+			}
+		}
+		tx.rs = append(tx.rs, readEntry{o: o, ver: versionOf(l1)})
+		tx.rsFilterAdd(o)
+		return
+	}
+}
+
+// loadSnapWords is the snapshot-mode word-range read: the group
+// [i, end) shares orec o; when the orec has moved past (or is locked
+// ahead of) the pinned snapshot, reconstruction is attempted for the
+// WHOLE remaining chunk [i, len(dst)) in one mvstore range lookup — for
+// an object written by a single commit that is one index probe instead
+// of one per word. It returns the next unserved position.
+func (tx *Tx) loadSnapWords(ps *partState, o *orec, addr memory.Addr, dst []uint64, i, end int, st *PartThreadStats, ti int) int {
+	spins := 0
+	probedHead := ^uint64(0)
+	for {
+		l1 := o.lock.Load()
+		if isLocked(l1) {
+			if lockOwner(l1) == tx.th.slot {
+				for j := i; j < end; j++ {
+					dst[j] = tx.eng.arena.LoadAtomic(addr + memory.Addr(j))
+				}
+				return end
+			}
+			// As in the per-word snapshot read: reconstruct past the lock
+			// if the store covers the snapshot, else wait the owner out
+			// (deadlock-free — snapshot readers hold no locks or bits).
+			if ps.hist != nil {
+				if h := ps.hist.Head(); h != probedHead {
+					probedHead = h
+					if tx.snapReadRange(ps, addr+memory.Addr(i), dst[i:], tx.touched[ti].snap, st) {
+						return len(dst)
+					}
+				}
+			}
+			tx.checkKilled()
+			st.WaitCycles.Add(1)
+			spins++
+			if spins&31 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		for j := i; j < end; j++ {
+			dst[j] = tx.eng.arena.LoadAtomic(addr + memory.Addr(j))
+		}
+		if o.lock.Load() != l1 {
+			spins++
+			continue
+		}
+		if ver := versionOf(l1); ver > tx.touched[ti].snap {
+			if ps.hist != nil && tx.snapReadRange(ps, addr+memory.Addr(i), dst[i:], tx.touched[ti].snap, st) {
+				return len(dst)
+			}
+			st.SnapMisses.Add(uint64(end - i))
+			tx.snapMisses += uint64(end - i)
+			if !tx.extend() {
+				tx.abort(AbortValidation)
+			}
+			continue // re-read under the extended snapshot
+		}
+		if tx.rsFilt.mayContain(orecKey(o)) {
+			if j := tx.rsFind(o); j >= 0 && tx.rs[j].ver == versionOf(l1) {
+				return end
+			}
+		}
+		tx.rs = append(tx.rs, readEntry{o: o, ver: versionOf(l1)})
+		tx.rsFilterAdd(o)
+		return end
+	}
+}
+
+// snapReadRange attempts to serve a snapshot-mode read of the word range
+// [base, base+len(out)) at the pinned partition snapshot from the
+// multi-version store; all-or-nothing. A hit pins the snapshot for the
+// rest of the attempt (see extend).
+func (tx *Tx) snapReadRange(ps *partState, base memory.Addr, out []uint64, snap uint64, st *PartThreadStats) bool {
+	if !ps.hist.ReadRangeAt(uint64(base), snap, out) {
+		return false
+	}
+	st.SnapHits.Add(uint64(len(out)))
+	tx.snapHits += uint64(len(out))
+	return true
+}
+
+// StoreWords transactionally writes the len(src) consecutive words
+// starting at addr. Equivalent to len(src) calls of Store, with the
+// per-access overhead paid once per object and the write lock of an
+// ownership record shared by consecutive words taken once. Committing a
+// StoreWords-written object publishes its history records back to back,
+// which is what lets snapshot readers reconstruct it with one index probe
+// (see mvstore.ReadRangeAt).
+func (tx *Tx) StoreWords(addr memory.Addr, src []uint64) {
+	if len(src) == 0 {
+		return
+	}
+	tx.checkKilled()
+	tx.tick()
+	if tx.readOnly {
+		tx.abort(AbortUpgrade)
+	}
+	for len(src) > 0 {
+		c := tx.blockChunk(addr, len(src))
+		tx.storeWordsChunk(addr, src[:c])
+		addr += memory.Addr(c)
+		src = src[c:]
+	}
+}
+
+// storeWordsChunk writes a word range confined to one heap block (one
+// partition).
+func (tx *Tx) storeWordsChunk(addr memory.Addr, src []uint64) {
+	p := tx.eng.partOf(tx.topo, addr)
+	ps := p.loadState()
+	st := tx.th.statsFor(p.id)
+	st.Stores.Add(uint64(len(src)))
+	ti := tx.touch(p, true)
+	if ps.cfg.Read == VisibleReads {
+		tx.hasVisible = true
+	}
+	var held *orec // last orec acquired by this chunk: skip re-acquisition
+	for i := range src {
+		a := addr + memory.Addr(i)
+		o := ps.table.of(a)
+		switch {
+		case ps.cfg.Acquire == CommitTime:
+			tx.wsPut(a, src[i], o, ps, modeCTL)
+		case ps.cfg.Write == WriteBack:
+			if o != held {
+				tx.acquire(ps, o, st, ti)
+				held = o
+			}
+			tx.wsPut(a, src[i], o, ps, modeWB)
+		default: // encounter-time write-through
+			if o != held {
+				tx.acquire(ps, o, st, ti)
+				held = o
+			}
+			if !tx.wsFilt.mayContain(uint64(a)) || tx.wsFind(a) < 0 {
+				// First write to a: capture the undo pre-image.
+				tx.ws = append(tx.ws, writeEntry{
+					addr: a,
+					old:  tx.eng.arena.LoadAtomic(a),
+					o:    o,
+					ps:   ps,
+					mode: modeWT,
+				})
+				tx.wsFilterAdd(a)
+			}
+			tx.eng.arena.StoreAtomic(a, src[i])
+		}
+	}
+}
+
+// rangeChunkWords is LoadRange's internal buffer size: scans stream
+// through the multi-word read path in chunks of this many words.
+const rangeChunkWords = 64
+
+// LoadRange transactionally reads the n consecutive words starting at
+// addr, calling fn(i, v) for word i holding v, in order; fn returning
+// false stops the scan. It streams through the LoadWords path, so long
+// scans inherit its per-object amortization (and, in snapshot mode, the
+// grouped store reconstruction) without the caller materializing a
+// destination slice.
+func (tx *Tx) LoadRange(addr memory.Addr, n int, fn func(i int, v uint64) bool) {
+	var buf [rangeChunkWords]uint64
+	for i := 0; i < n; {
+		c := n - i
+		if c > rangeChunkWords {
+			c = rangeChunkWords
+		}
+		tx.LoadWords(addr+memory.Addr(i), buf[:c])
+		for j := 0; j < c; j++ {
+			if !fn(i+j, buf[j]) {
+				return
+			}
+		}
+		i += c
+	}
 }
 
 // acquire takes the orec's write lock at encounter time, draining visible

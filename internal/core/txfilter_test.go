@@ -63,6 +63,86 @@ func TestFilterResetForgets(t *testing.T) {
 	_ = enum
 }
 
+// TestFilterNoClearBetweenAttempts pins the generation-stamp contract: a
+// grown filter that is reset and grown into again must NOT memset its
+// retained backing array (reset is O(1) for huge transactions retrying),
+// yet every key of the previous attempt must read as absent — staleness
+// lives in the per-word stamps, not in zeroed bits.
+func TestFilterNoClearBetweenAttempts(t *testing.T) {
+	var f txFilter
+	var keys []uint64
+	enum := func(yield func(uint64)) {
+		for _, k := range keys {
+			yield(k)
+		}
+	}
+	f.reset()
+	for i := uint64(0); i < 1000; i++ {
+		k := (i + 1) * 0x9E3779B9
+		keys = append(keys, k)
+		f.add(k, 16, enum)
+	}
+	if !f.grown {
+		t.Fatal("filter did not grow")
+	}
+	stale := 0
+	for _, w := range f.bits {
+		if w != 0 {
+			stale++
+		}
+	}
+	if stale == 0 {
+		t.Fatal("no bits set after 1000 adds")
+	}
+
+	// Second attempt: reset, regrow into the SAME backing array with one
+	// fresh key.
+	oldKeys := keys
+	keys = keys[:0]
+	f.reset()
+	for i := 0; i <= 16; i++ { // push past smallMax so the bitset re-engages
+		k := uint64(0xABCD_0000) + uint64(i)*0x2545F491
+		keys = append(keys, k)
+		f.add(k, 16, enum)
+	}
+	if !f.grown {
+		t.Fatal("filter did not regrow")
+	}
+	// No clear happened: the previous attempt's bits are physically still
+	// in the retained backing array (the regrow into a smaller geometry
+	// resliced it; scan the full capacity) — only stamps went stale.
+	bitsFull := f.bits[:cap(f.bits)]
+	gensFull := f.gens[:cap(f.bits)]
+	surviving := 0
+	for i, w := range bitsFull {
+		if w != 0 && gensFull[i] != f.gen {
+			surviving++
+		}
+	}
+	if surviving == 0 {
+		t.Fatal("backing array was cleared between attempts (stamps should carry staleness)")
+	}
+	// ...yet none of them is visible through the membership query.
+	for _, k := range oldKeys {
+		hit := false
+		for _, nk := range keys {
+			if bitPos(nk, f.mask) == bitPos(k, f.mask) {
+				hit = true // genuine collision with a fresh key: FP allowed
+				break
+			}
+		}
+		if !hit && f.mayContain(k) {
+			t.Fatalf("stale key %#x leaked through a stale-generation word", k)
+		}
+	}
+	// And the fresh keys are all present (no false negatives).
+	for _, k := range keys {
+		if !f.mayContain(k) {
+			t.Fatalf("false negative for fresh key %#x", k)
+		}
+	}
+}
+
 // TestFilterFalsePositivesConfirmed drives enough distinct orecs through
 // a transaction that the one-word filter must produce false positives
 // (>64 keys into 64 bits), and checks dedup stays exact: the read set

@@ -47,6 +47,18 @@
 // Correctness never depends on retention: the engine falls back to its
 // validate/extend read path on a miss.
 //
+// Records of one commit are published back to back in the ring (the
+// engine batches a commit's records per partition through AppendBatch), so
+// the batch doubles as a grouped per-commit record: a conceptual header —
+// the first record — followed by N contiguous values. ReadRangeAt exploits
+// that layout to reconstruct a whole multi-word object with ONE index
+// probe: it walks the first address's chain to the covering record, then
+// serves the remaining words straight from the neighbouring ring slots,
+// each verified by its own published sequence, stored address and version
+// interval. Ranges whose covering records are not contiguous — commits
+// that overwrote single member words since — degrade per word to the
+// ordinary probe-and-walk (see ReadRangeAt).
+//
 // The table is sized with the ring and never rehashed (the fresh-table-
 // per-partState discipline below plays the role core/txindex.go's
 // generation stamps play for per-attempt indexes: a rebuild is a new
@@ -157,7 +169,9 @@ type statBlock struct {
 	hits        atomic.Uint64
 	chainSteps  atomic.Uint64
 	truncMisses atomic.Uint64
-	_           [4]uint64
+	rangeReads  atomic.Uint64
+	rangeFast   atomic.Uint64
+	_           [2]uint64
 }
 
 // minCap is the smallest usable ring; anything below churns too fast to
@@ -367,11 +381,25 @@ func (b *Buffer) indexFind(addr uint64) *idxSlot {
 // snapshot at or above the newest record, or an evicted chain link each
 // answer in O(1).
 func (b *Buffer) ReadAt(addr, at uint64) (uint64, bool) {
-	st := &b.stats[(addr*hashMul)>>(64-3)] // stripe by address hash
+	v, _, ok := b.lookupAt(b.stripe(addr), addr, at)
+	return v, ok
+}
+
+// stripe returns the lookup-counter stripe for addr.
+func (b *Buffer) stripe(addr uint64) *statBlock {
+	return &b.stats[(addr*hashMul)>>(64-3)] // stripe by address hash
+}
+
+// lookupAt is the shared probe-and-walk behind ReadAt and ReadRangeAt: it
+// returns the covering value together with the ring sequence of the record
+// that carried it (so range lookups can try the record's batch neighbours
+// without further index probes). Counter accounting matches ReadAt's
+// documented semantics: one probe per call, one hit per served value.
+func (b *Buffer) lookupAt(st *statBlock, addr, at uint64) (val, ringSeq uint64, ok bool) {
 	st.probes.Add(1)
 	is := b.indexFind(addr)
 	if is == nil {
-		return 0, false // no recorded history for addr
+		return 0, 0, false // no recorded history for addr
 	}
 	cur := is.head.Load()
 	for steps := 0; cur != 0; steps++ {
@@ -383,7 +411,7 @@ func (b *Buffer) ReadAt(addr, at uint64) (uint64, bool) {
 			// evicted (or is being overwritten). The chain below it is
 			// at least as old, so the walk is over — a retention miss.
 			st.truncMisses.Add(1)
-			return 0, false
+			return 0, 0, false
 		}
 		a := sl.addr.Load()
 		v := sl.val.Load()
@@ -392,7 +420,7 @@ func (b *Buffer) ReadAt(addr, at uint64) (uint64, bool) {
 		prev := sl.prev.Load()
 		if sl.seq.Load() != q {
 			st.truncMisses.Add(1)
-			return 0, false
+			return 0, 0, false
 		}
 		if a != addr {
 			// Stale or stolen index entry: the address HAD history, the
@@ -400,30 +428,88 @@ func (b *Buffer) ReadAt(addr, at uint64) (uint64, bool) {
 			// (a bigger ring brings a bigger index), so it counts with
 			// the retention misses.
 			st.truncMisses.Add(1)
-			return 0, false
+			return 0, 0, false
 		}
 		if steps > 0 {
 			st.chainSteps.Add(1)
 		}
 		if pv <= at && at < nv {
 			st.hits.Add(1)
-			return v, true
+			return v, s, true
 		}
 		if at >= nv {
 			// The snapshot postdates the newest retained overwrite of
 			// addr: no record covers it (memory, or the validate path,
 			// is authoritative). Older chain records are older still.
-			return 0, false
+			return 0, 0, false
 		}
 		if prev >= cur {
 			// A chain must strictly descend in ring sequence; anything
 			// else is a fork from unserialized same-address appends.
 			st.truncMisses.Add(1)
-			return 0, false
+			return 0, 0, false
 		}
 		cur = prev
 	}
-	return 0, false // at predates the oldest record for addr
+	return 0, 0, false // at predates the oldest record for addr
+}
+
+// ReadRangeAt reconstructs the committed values of the contiguous address
+// range [addr, addr+len(dst)) at snapshot at, writing dst[i] for addr+i.
+// It returns true only when every word of the range is served; on false,
+// dst holds partial garbage and the caller must fall back to per-word
+// reads (or the validate/extend path).
+//
+// The grouped-record fast path is what makes object reconstruction cost
+// one index probe instead of one per word: a commit that writes a whole
+// object publishes its records back to back in the ring (the engine's
+// AppendBatch keeps a write set's records contiguous), so once the walk
+// for addr lands on the covering record, the neighbouring ring slots are
+// checked directly — each one verified by its published sequence, its
+// stored address and its version interval, exactly the checks a chain
+// walk performs — and index probing is skipped entirely. Interleaved or
+// partially overwritten ranges degrade per word to the ordinary
+// probe-and-walk, never to a wrong value.
+func (b *Buffer) ReadRangeAt(addr, at uint64, dst []uint64) bool {
+	if len(dst) == 0 {
+		return true
+	}
+	st := b.stripe(addr)
+	st.rangeReads.Add(1)
+	v0, s0, ok := b.lookupAt(st, addr, at)
+	if !ok {
+		return false
+	}
+	dst[0] = v0
+	grouped := true
+	for i := 1; i < len(dst); i++ {
+		a := addr + uint64(i)
+		if grouped {
+			si := s0 + uint64(i)
+			sl := &b.slots[si&b.mask]
+			q := 2*si + 2
+			if sl.seq.Load() == q {
+				sa := sl.addr.Load()
+				sv := sl.val.Load()
+				pv := sl.prevVer.Load()
+				nv := sl.newVer.Load()
+				if sl.seq.Load() == q && sa == a && pv <= at && at < nv {
+					dst[i] = sv
+					continue
+				}
+			}
+			grouped = false
+		}
+		v, _, ok := b.lookupAt(b.stripe(a), a, at)
+		if !ok {
+			return false
+		}
+		dst[i] = v
+	}
+	if grouped {
+		st.rangeFast.Add(1)
+	}
+	return true
 }
 
 // Stats is a momentary reading of a buffer, for experiments, the tuner
@@ -460,6 +546,13 @@ type Stats struct {
 	// looked-up address between the reader's snapshot and the lookup
 	// (the per-hit walk depth).
 	ChainSteps uint64
+	// RangeReads counts ReadRangeAt calls; RangeFastHits is the subset
+	// fully served by the grouped-record fast path — one index probe for
+	// the whole range instead of one per word. RangeReads-RangeFastHits
+	// range lookups degraded (at least partially) to per-word probes,
+	// which show up in Probes as usual.
+	RangeReads    uint64
+	RangeFastHits uint64
 }
 
 // Stats scans the ring and reports capacity, append count, live records,
@@ -478,6 +571,8 @@ func (b *Buffer) Stats() Stats {
 		st.Hits += sb.hits.Load()
 		st.TruncMisses += sb.truncMisses.Load()
 		st.ChainSteps += sb.chainSteps.Load()
+		st.RangeReads += sb.rangeReads.Load()
+		st.RangeFastHits += sb.rangeFast.Load()
 	}
 	for i := range b.slots {
 		sl := &b.slots[i]

@@ -1,0 +1,159 @@
+package mvstore
+
+import "testing"
+
+// appendObject publishes one commit's overwrite records for the
+// contiguous object [base, base+n) in a single batch, as the engine
+// does: old values vals, versions prevVer -> newVer.
+func appendObject(b *Buffer, base uint64, vals []uint64, prevVer, newVer uint64) {
+	recs := make([]Record, len(vals))
+	for i := range vals {
+		recs[i] = Record{Addr: base + uint64(i), Val: vals[i], PrevVer: prevVer, NewVer: newVer}
+	}
+	b.AppendBatch(recs)
+}
+
+// TestReadRangeAtGrouped is the probe-amortization contract: an object
+// overwritten by one commit reconstructs with ONE index probe, however
+// many words it has — against 8 probes for 8 per-word ReadAt calls.
+func TestReadRangeAtGrouped(t *testing.T) {
+	b := New(256)
+	const base, n = 100, 8
+	old := []uint64{10, 11, 12, 13, 14, 15, 16, 17}
+	appendObject(b, base, old, 1, 5)
+
+	before := b.Stats()
+	dst := make([]uint64, n)
+	if !b.ReadRangeAt(base, 3, dst) {
+		t.Fatal("range read missed")
+	}
+	for i := range dst {
+		if dst[i] != old[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], old[i])
+		}
+	}
+	after := b.Stats()
+	if probes := after.Probes - before.Probes; probes != 1 {
+		t.Fatalf("grouped range read paid %d index probes, want 1", probes)
+	}
+	if after.RangeReads != before.RangeReads+1 || after.RangeFastHits != before.RangeFastHits+1 {
+		t.Fatalf("range counters: %+v -> %+v", before, after)
+	}
+
+	// The same object read per word pays one probe per word.
+	before = after
+	for i := 0; i < n; i++ {
+		v, ok := b.ReadAt(base+uint64(i), 3)
+		if !ok || v != old[i] {
+			t.Fatalf("ReadAt(%d) = %d,%v", i, v, ok)
+		}
+	}
+	after = b.Stats()
+	if probes := after.Probes - before.Probes; probes != n {
+		t.Fatalf("per-word reads paid %d probes, want %d", probes, n)
+	}
+}
+
+// TestReadRangeAtNewerWordStillGrouped: a later commit overwriting one
+// member word does not unseat the older batch — at a snapshot the batch
+// covers, the fast path still serves every word (the newer record does
+// not cover that snapshot), and at a snapshot only partially covered the
+// range read misses rather than inventing values.
+func TestReadRangeAtNewerWordStillGrouped(t *testing.T) {
+	b := New(256)
+	const base, n = 200, 4
+	appendObject(b, base, []uint64{1, 2, 3, 4}, 1, 5)
+	// A single-word commit lands on base+2: its pre-image (the first
+	// commit's new value for that word) enters the ring alone.
+	b.Append(base+2, 33, 5, 9)
+
+	// At snapshot 6 (after the object commit, before the word commit):
+	// only word 2 has a covering record, so the range read misses.
+	dst := make([]uint64, n)
+	if b.ReadRangeAt(base, 6, dst) {
+		t.Fatal("range read served words with no covering record")
+	}
+	// At snapshot 3 the original batch covers every word — including
+	// base+2, whose chain walks from the newer record down to it.
+	before := b.Stats()
+	if !b.ReadRangeAt(base, 3, dst) {
+		t.Fatal("range read missed despite full coverage")
+	}
+	want := []uint64{1, 2, 3, 4}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	after := b.Stats()
+	if probes := after.Probes - before.Probes; probes != 1 {
+		t.Fatalf("grouped range read paid %d probes, want 1", probes)
+	}
+}
+
+// TestReadRangeAtNonContiguous breaks physical contiguity — the batch
+// published the object's records in reverse address order — and checks
+// the range read degrades to correct per-word lookups instead of the
+// fast path.
+func TestReadRangeAtNonContiguous(t *testing.T) {
+	b := New(256)
+	const base, n = 300, 4
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Addr: base + uint64(n-1-i), Val: uint64(40 - i), PrevVer: 1, NewVer: 5}
+	}
+	b.AppendBatch(recs) // base+3, base+2, base+1, base
+
+	before := b.Stats()
+	dst := make([]uint64, n)
+	if !b.ReadRangeAt(base, 3, dst) {
+		t.Fatal("range read missed despite full coverage")
+	}
+	for i := range dst {
+		// Val 40-i went to addr base+(n-1-i): addr base+i holds 40-(n-1-i).
+		if want := uint64(40 - (n - 1 - i)); dst[i] != want {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+	after := b.Stats()
+	if after.RangeFastHits != before.RangeFastHits {
+		t.Fatal("fast path claimed despite non-contiguous records")
+	}
+	if probes := after.Probes - before.Probes; probes != n {
+		t.Fatalf("degraded range read paid %d probes, want %d", probes, n)
+	}
+}
+
+// TestReadRangeAtEviction: a range whose covering records were evicted
+// by ring wrap-around misses cleanly.
+func TestReadRangeAtEviction(t *testing.T) {
+	b := New(16)
+	appendObject(b, 50, []uint64{1, 2, 3, 4}, 1, 5)
+	for i := 0; i < 64; i++ { // wrap the ring with unrelated traffic
+		b.Append(1000+uint64(i), 9, 1, 2)
+	}
+	dst := make([]uint64, 4)
+	if b.ReadRangeAt(50, 3, dst) {
+		t.Fatal("range read served evicted records")
+	}
+}
+
+// TestReadRangeAtEdges covers the trivial boundaries.
+func TestReadRangeAtEdges(t *testing.T) {
+	b := New(64)
+	if !b.ReadRangeAt(10, 5, nil) {
+		t.Fatal("empty range should trivially succeed")
+	}
+	dst := make([]uint64, 2)
+	if b.ReadRangeAt(10, 5, dst) {
+		t.Fatal("range over unrecorded addresses should miss")
+	}
+	// Snapshot at/above the newest version: memory is authoritative.
+	appendObject(b, 10, []uint64{7, 8}, 1, 5)
+	if b.ReadRangeAt(10, 5, dst) {
+		t.Fatal("range at the newest version should miss (memory is current)")
+	}
+	if !b.ReadRangeAt(10, 4, dst) || dst[0] != 7 || dst[1] != 8 {
+		t.Fatalf("range just below newest = %v, want [7 8]", dst)
+	}
+}

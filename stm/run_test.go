@@ -1,0 +1,247 @@
+package stm_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/stm"
+)
+
+// driveWorkload runs a fixed deterministic mix of update, read-only and
+// snapshot transactions through `via`, which maps each step onto either
+// the legacy wrappers or Run+options, and returns the final counter
+// values plus the global partition's statistics. Both entrypoints must
+// produce identical results and identical books.
+type txDriver struct {
+	update   func(th *stm.Thread, fn func(*stm.Tx))
+	readOnly func(th *stm.Thread, fn func(*stm.Tx))
+	snapshot func(th *stm.Thread, fn func(*stm.Tx))
+	withErr  func(th *stm.Thread, fn func(*stm.Tx) error) error
+}
+
+func wrapperDriver() txDriver {
+	return txDriver{
+		update:   func(th *stm.Thread, fn func(*stm.Tx)) { th.Atomic(fn) },
+		readOnly: func(th *stm.Thread, fn func(*stm.Tx)) { th.ReadOnlyAtomic(fn) },
+		snapshot: func(th *stm.Thread, fn func(*stm.Tx)) { th.SnapshotAtomic(fn) },
+		withErr:  func(th *stm.Thread, fn func(*stm.Tx) error) error { return th.AtomicErr(fn) },
+	}
+}
+
+func runDriver() txDriver {
+	void := func(fn func(*stm.Tx)) func(*stm.Tx) error {
+		return func(tx *stm.Tx) error { fn(tx); return nil }
+	}
+	return txDriver{
+		update:   func(th *stm.Thread, fn func(*stm.Tx)) { th.Run(void(fn)) },
+		readOnly: func(th *stm.Thread, fn func(*stm.Tx)) { th.Run(void(fn), stm.ReadOnly()) },
+		snapshot: func(th *stm.Thread, fn func(*stm.Tx)) { th.Run(void(fn), stm.Snapshot()) },
+		withErr:  func(th *stm.Thread, fn func(*stm.Tx) error) error { return th.Run(fn) },
+	}
+}
+
+func driveWorkload(t *testing.T, d txDriver) ([]uint64, stm.PartStats) {
+	t.Helper()
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16, SnapshotHistory: 256})
+	site := rt.RegisterSite("eq.slots")
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	const n = 64
+	var base stm.Addr
+	d.update(th, func(tx *stm.Tx) {
+		base = tx.Alloc(site, n)
+		for i := 0; i < n; i++ {
+			tx.Store(base+stm.Addr(i), uint64(i))
+		}
+	})
+	for round := 0; round < 10; round++ {
+		d.update(th, func(tx *stm.Tx) {
+			for i := 0; i < n; i += 2 {
+				tx.Store(base+stm.Addr(i), tx.Load(base+stm.Addr(i))+1)
+			}
+		})
+		d.readOnly(th, func(tx *stm.Tx) {
+			var s uint64
+			for i := 0; i < n; i++ {
+				s += tx.Load(base + stm.Addr(i))
+			}
+			_ = s
+		})
+		d.snapshot(th, func(tx *stm.Tx) {
+			var s uint64
+			tx.LoadRange(base, n, func(_ int, v uint64) bool { s += v; return true })
+			_ = s
+		})
+		// A read-only hint that writes: both entrypoints must upgrade.
+		d.readOnly(th, func(tx *stm.Tx) {
+			tx.Store(base+stm.Addr(1), tx.Load(base+stm.Addr(1))+1)
+		})
+		// A user error: both entrypoints must roll back and surface it.
+		if err := d.withErr(th, func(tx *stm.Tx) error {
+			tx.Store(base, 99999)
+			return errSentinel{}
+		}); err != (errSentinel{}) {
+			t.Fatalf("user error = %v, want sentinel", err)
+		}
+	}
+	vals := make([]uint64, n)
+	d.readOnly(th, func(tx *stm.Tx) {
+		for i := 0; i < n; i++ {
+			vals[i] = tx.Load(base + stm.Addr(i))
+		}
+	})
+	return vals, rt.PartitionStats(stm.GlobalPartition)
+}
+
+// TestRunEquivalence proves the deprecated wrappers and Run with the
+// corresponding options execute bit-for-bit alike: same final heap
+// state, and the same statistics footprint (commit counts by kind,
+// loads, stores, upgrade aborts) over a deterministic single-thread mix.
+func TestRunEquivalence(t *testing.T) {
+	wVals, wStats := driveWorkload(t, wrapperDriver())
+	rVals, rStats := driveWorkload(t, runDriver())
+	for i := range wVals {
+		if wVals[i] != rVals[i] {
+			t.Fatalf("heap diverged at word %d: wrappers %d, Run %d", i, wVals[i], rVals[i])
+		}
+	}
+	if wStats.Commits != rStats.Commits ||
+		wStats.UpdateCommits != rStats.UpdateCommits ||
+		wStats.ROCommits != rStats.ROCommits ||
+		wStats.Loads != rStats.Loads ||
+		wStats.Stores != rStats.Stores ||
+		wStats.TotalAborts() != rStats.TotalAborts() ||
+		wStats.Aborts[stm.AbortUpgrade] != rStats.Aborts[stm.AbortUpgrade] ||
+		wStats.SnapHits != rStats.SnapHits ||
+		wStats.SnapMisses != rStats.SnapMisses {
+		t.Fatalf("statistics diverged:\nwrappers: %+v\nrun:      %+v", wStats, rStats)
+	}
+}
+
+// TestRunMaxAttempts checks the bounded retry loop: a transaction that
+// explicitly aborts every attempt exhausts its budget, returns
+// ErrMaxAttempts, leaves no effects behind, and reports every attempt to
+// the OnAbort hook with its cause.
+func TestRunMaxAttempts(t *testing.T) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 14})
+	site := rt.RegisterSite("ma")
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var a stm.Addr
+	th.Run(func(tx *stm.Tx) error {
+		a = tx.Alloc(site, 1)
+		tx.Store(a, 7)
+		return nil
+	})
+
+	var causes []stm.AbortCause
+	var attempts []int
+	err := th.Run(func(tx *stm.Tx) error {
+		tx.Store(a, 1000)
+		tx.Abort()
+		return nil
+	},
+		stm.MaxAttempts(3),
+		stm.OnAbort(func(c stm.AbortCause, attempt int) {
+			causes = append(causes, c)
+			attempts = append(attempts, attempt)
+		}))
+	if !errors.Is(err, stm.ErrMaxAttempts) {
+		t.Fatalf("err = %v, want ErrMaxAttempts", err)
+	}
+	if len(causes) != 3 {
+		t.Fatalf("OnAbort fired %d times, want 3", len(causes))
+	}
+	for i, c := range causes {
+		if c != stm.AbortExplicit {
+			t.Fatalf("cause[%d] = %v, want AbortExplicit", i, c)
+		}
+		if attempts[i] != i+1 {
+			t.Fatalf("attempt[%d] = %d, want %d", i, attempts[i], i+1)
+		}
+	}
+	th.Run(func(tx *stm.Tx) error {
+		if got := tx.Load(a); got != 7 {
+			t.Fatalf("exhausted transaction leaked a store: %d", got)
+		}
+		return nil
+	}, stm.ReadOnly())
+
+	// A committing transaction under a budget returns nil.
+	if err := th.Run(func(tx *stm.Tx) error {
+		tx.Store(a, 8)
+		return nil
+	}, stm.MaxAttempts(1)); err != nil {
+		t.Fatalf("committing Run with budget returned %v", err)
+	}
+}
+
+// TestRunUpgradeCountsAgainstBudget pins the documented MaxAttempts
+// accounting: the internal read-only→update upgrade restart consumes an
+// attempt and is visible to OnAbort.
+func TestRunUpgradeCountsAgainstBudget(t *testing.T) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 14})
+	site := rt.RegisterSite("up")
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var a stm.Addr
+	th.Run(func(tx *stm.Tx) error {
+		a = tx.Alloc(site, 1)
+		tx.Store(a, 0)
+		return nil
+	})
+	var sawUpgrade bool
+	err := th.Run(func(tx *stm.Tx) error {
+		tx.Store(a, 1) // write in a read-only transaction: upgrade restart
+		return nil
+	},
+		stm.ReadOnly(),
+		stm.MaxAttempts(2),
+		stm.OnAbort(func(c stm.AbortCause, _ int) {
+			if c == stm.AbortUpgrade {
+				sawUpgrade = true
+			}
+		}))
+	if err != nil {
+		t.Fatalf("upgraded Run failed: %v", err)
+	}
+	if !sawUpgrade {
+		t.Fatal("OnAbort did not observe the upgrade restart")
+	}
+	th.Run(func(tx *stm.Tx) error {
+		if got := tx.Load(a); got != 1 {
+			t.Fatalf("upgraded store lost: %d", got)
+		}
+		return nil
+	}, stm.ReadOnly())
+}
+
+// TestSnapshotHistoryConflict covers the Config.Default/SnapshotHistory
+// precedence contract: filling an unset HistCap is fine, agreeing values
+// are fine, conflicting nonzero values are a construction error.
+func TestSnapshotHistoryConflict(t *testing.T) {
+	def := stm.DefaultPartConfig()
+	def.HistCap = 128
+	if _, err := stm.New(stm.Config{HeapWords: 1 << 14, Default: &def, SnapshotHistory: 256}); err == nil {
+		t.Fatal("conflicting HistCap/SnapshotHistory accepted")
+	}
+	rt, err := stm.New(stm.Config{HeapWords: 1 << 14, Default: &def, SnapshotHistory: 128})
+	if err != nil {
+		t.Fatalf("agreeing HistCap/SnapshotHistory rejected: %v", err)
+	}
+	if cfg, _ := rt.PartitionConfig(stm.GlobalPartition); cfg.HistCap != 128 {
+		t.Fatalf("HistCap = %d, want 128", cfg.HistCap)
+	}
+	def2 := stm.DefaultPartConfig() // HistCap unset: SnapshotHistory fills it
+	rt2, err := stm.New(stm.Config{HeapWords: 1 << 14, Default: &def2, SnapshotHistory: 64})
+	if err != nil {
+		t.Fatalf("merge rejected: %v", err)
+	}
+	if cfg, _ := rt2.PartitionConfig(stm.GlobalPartition); cfg.HistCap != 64 {
+		t.Fatalf("HistCap = %d, want 64", cfg.HistCap)
+	}
+	// And the caller's struct is never written to.
+	if def.HistCap != 128 || def2.HistCap != 0 {
+		t.Fatalf("New mutated the caller's Config.Default (HistCap %d, %d)", def.HistCap, def2.HistCap)
+	}
+}

@@ -1,26 +1,57 @@
 // Package stm is the public API of the partitioned software transactional
-// memory: a word-based STM (TinySTM family) whose heap is automatically
-// partitioned into independently tuned regions, reproducing Riegel,
-// Fetzer & Felber, "Automatic Data Partitioning in Software Transactional
-// Memories" (SPAA 2008).
+// memory: an object/word hybrid STM (TinySTM family) whose heap is
+// automatically partitioned into independently tuned regions, reproducing
+// Riegel, Fetzer & Felber, "Automatic Data Partitioning in Software
+// Transactional Memories" (SPAA 2008).
 //
 // # Model
 //
 // The STM manages a word-addressable heap (package internal/memory):
 // objects are allocated at named allocation sites and addressed by Addr.
-// Worker goroutines attach a Thread and run transactions:
+// Worker goroutines attach a Thread and run transactions through Run, the
+// single options-driven entrypoint; typed multi-word objects live behind
+// generic Ref handles:
 //
 //	rt, _ := stm.New(stm.Config{HeapWords: 1 << 22})
-//	site := rt.RegisterSite("app.counter")
+//	site := rt.RegisterSite("app.account")
 //	th := rt.MustAttach()
 //	defer rt.Detach(th)
 //
-//	var c stm.Addr
-//	th.Atomic(func(tx *stm.Tx) {
-//		c = tx.Alloc(site, 1)
-//		tx.Store(c, 0)
+//	type Account struct{ Balance, Limit uint64 }
+//	var acct stm.Ref[Account]
+//	th.Run(func(tx *stm.Tx) error {
+//		acct = stm.AllocRef[Account](tx, site)
+//		acct.Store(tx, Account{Balance: 100, Limit: 500})
+//		return nil
 //	})
-//	th.Atomic(func(tx *stm.Tx) { tx.Store(c, tx.Load(c)+1) })
+//	th.Run(func(tx *stm.Tx) error {
+//		a := acct.Load(tx) // one multi-word read, one footprint touch
+//		a.Balance++
+//		acct.Store(tx, a)
+//		return nil
+//	})
+//
+// Functional options select the execution mode: Run(fn) is an update
+// transaction retried until commit; Run(fn, stm.ReadOnly()) takes the
+// read-only fast path; Run(fn, stm.Snapshot()) reads at a pinned snapshot
+// served by the multi-version store (see below); stm.MaxAttempts bounds
+// the retry loop (ErrMaxAttempts) and stm.OnAbort observes every aborted
+// attempt. The older entrypoints — Thread.Atomic, AtomicErr,
+// ReadOnlyAtomic, SnapshotAtomic — remain as thin deprecated wrappers
+// delegating to Run with the corresponding options.
+//
+// # Words and objects
+//
+// The word API (Tx.Load, Tx.Store, Tx.LoadAddr, Tx.StoreAddr) is the
+// low-level escape hatch: it addresses single 64-bit words and is what
+// the data-structure layer builds linked structures from. The object API
+// sits on the multi-word primitives Tx.LoadWords, Tx.StoreWords and
+// Tx.LoadRange, which touch per-access state (partition lookup, footprint
+// registration, statistics) once per object instead of once per word and
+// read words sharing an ownership record under one lock sample. Ref[T]
+// wraps them with a typed, fixed-size view: any pointer-free Go type
+// round-trips through its heap words (AllocRef, RefAt, Ref.Load,
+// Ref.Store).
 //
 // # Partitioning
 //
@@ -56,9 +87,12 @@
 //
 // Partitions can retain a bounded multi-version history of overwritten
 // values (internal/mvstore): update commits append the values they
-// replace, and read-only transactions run through Thread.SnapshotAtomic
-// read at a snapshot pinned at their first access, reconstructing any
-// location a writer has since overwritten from that history. Such
+// replace — back to back per commit, so a multi-word object written by
+// one commit forms a contiguous grouped record — and read-only
+// transactions run through Run(fn, stm.Snapshot()) read at a snapshot
+// pinned at their first access, reconstructing any location a writer has
+// since overwritten from that history (a whole object in one index probe
+// when it was written by a single commit). Such
 // transactions never validate, never extend, and — while the needed
 // records are retained — never abort, no matter how heavy the write
 // traffic: long analytic scans coexist with saturating writers. A
@@ -137,7 +171,34 @@ type (
 	// multi-version snapshot store: capacity, appends, live records and
 	// the retained version span.
 	SnapshotHistoryStats = mvstore.Stats
+	// TxOpt is a functional option selecting how Thread.Run executes a
+	// transaction (see ReadOnly, Snapshot, MaxAttempts, OnAbort).
+	TxOpt = core.TxOpt
 )
+
+// ErrMaxAttempts is returned by Thread.Run when a MaxAttempts budget is
+// exhausted before the transaction commits.
+var ErrMaxAttempts = core.ErrMaxAttempts
+
+// ReadOnly marks a Run transaction read-only: it takes the read-only fast
+// path, and transparently restarts in update mode if it writes.
+func ReadOnly() TxOpt { return core.ReadOnly() }
+
+// Snapshot runs a Run transaction in snapshot mode (implies ReadOnly):
+// reads are served at a snapshot pinned at the first access, with
+// overwritten values reconstructed from the touched partitions'
+// multi-version stores — abort-free while the needed records are
+// retained. See the package comment's snapshot-mode section.
+func Snapshot() TxOpt { return core.Snapshot() }
+
+// MaxAttempts bounds Run's retry loop: after n aborted attempts Run
+// returns ErrMaxAttempts (n <= 0 means retry forever, the default).
+func MaxAttempts(n int) TxOpt { return core.MaxAttempts(n) }
+
+// OnAbort installs a hook observing every aborted attempt of a Run
+// transaction; it runs after rollback, outside the transaction, with the
+// abort cause and the 1-based attempt number.
+func OnAbort(fn func(cause AbortCause, attempt int)) TxOpt { return core.OnAbort(fn) }
 
 // Nil is the null heap address.
 const Nil = memory.Nil
@@ -210,12 +271,18 @@ type Config struct {
 	// (classic single shared counter).
 	TimeBase TimeBaseMode
 	// SnapshotHistory, when nonzero, attaches a multi-version snapshot
-	// store of that many overwrite records to every partition (it sets
+	// store of that many overwrite records to every partition (it fills
 	// PartConfig.HistCap on the default configuration), enabling
-	// abort-free read-only transactions via Thread.SnapshotAtomic. Zero
+	// abort-free read-only transactions via Run(fn, Snapshot()). Zero
 	// leaves snapshot history off; individual partitions can still opt in
 	// through their own HistCap, and the tuner can attach stores
 	// adaptively (TunerConfig.AdaptSnapshot).
+	//
+	// Precedence against Default is explicit: SnapshotHistory fills
+	// Default.HistCap only when the latter is zero (or when both agree);
+	// setting both to different nonzero values is a configuration
+	// conflict and New returns an error rather than silently preferring
+	// either.
 	SnapshotHistory uint
 }
 
@@ -246,6 +313,13 @@ func New(cfg Config) (*Runtime, error) {
 		base = cfg.Default.Normalize()
 	}
 	if cfg.SnapshotHistory > 0 {
+		// Explicit merge, never a silent override: SnapshotHistory fills
+		// Default.HistCap when that is unset, and conflicting nonzero
+		// values are a configuration error (see Config.SnapshotHistory).
+		if cfg.Default != nil && cfg.Default.HistCap != 0 && cfg.Default.HistCap != cfg.SnapshotHistory {
+			return nil, fmt.Errorf("stm: Config.SnapshotHistory (%d) conflicts with Config.Default.HistCap (%d); set one, or set both equal",
+				cfg.SnapshotHistory, cfg.Default.HistCap)
+		}
 		base.HistCap = cfg.SnapshotHistory
 		base = base.Normalize()
 	}

@@ -29,6 +29,11 @@ func (c *CounterArray) N() int { return c.n }
 // array with raw Tx.Load/Store access.
 func (c *CounterArray) Addr(i int) stm.Addr { return c.base + stm.Addr(i) }
 
+// Ref returns a typed handle to counter i (the object view of one slot).
+func (c *CounterArray) Ref(i int) stm.Ref[uint64] {
+	return stm.RefAt[uint64](c.base + stm.Addr(i))
+}
+
 // Get returns counter i.
 func (c *CounterArray) Get(tx *stm.Tx, i int) uint64 {
 	return tx.Load(c.base + stm.Addr(i))
@@ -58,11 +63,14 @@ func (c *CounterArray) Transfer(tx *stm.Tx, i, j int, amount uint64) bool {
 	return true
 }
 
-// Sum returns the total across all counters (a long read-only scan).
+// Sum returns the total across all counters (a long read-only scan). It
+// streams through the multi-word range primitive, so the per-access
+// bookkeeping is paid once per chunk rather than once per counter.
 func (c *CounterArray) Sum(tx *stm.Tx) uint64 {
 	var s uint64
-	for i := 0; i < c.n; i++ {
-		s += tx.Load(c.base + stm.Addr(i))
-	}
+	tx.LoadRange(c.base, c.n, func(_ int, v uint64) bool {
+		s += v
+		return true
+	})
 	return s
 }

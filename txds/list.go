@@ -6,9 +6,22 @@ import "repro/stm"
 // key). It is the canonical high-constant-cost structure of the intset
 // benchmarks: lookups walk O(n) nodes transactionally, which makes long
 // read sets and, under updates, high validation pressure.
+//
+// Nodes are typed objects (stm.Ref[listNode]): a walk loads each node
+// with one multi-word read — one footprint touch per node instead of one
+// per field — and an insert publishes the node with one multi-word write,
+// so snapshot readers can reconstruct it from the version store with a
+// single index probe.
 type List struct {
 	head     stm.Addr // one-word cell holding the first node address
 	nodeSite stm.SiteID
+}
+
+// listNode is the heap layout of one node. Field order mirrors the
+// package's word offsets (offKey, offVal, offNext).
+type listNode struct {
+	Key, Val uint64
+	Next     stm.Addr
 }
 
 const listNodeWords = 3 // key, val, next
@@ -23,29 +36,31 @@ func NewList(tx *stm.Tx, rt *stm.Runtime, name string) *List {
 	return &List{head: head, nodeSite: nodeSite}
 }
 
-// locate returns (pred, curr) where curr is the first node with key >=
-// k; pred is the address of the pointer cell leading to curr (the head
-// cell or a node's next field).
-func (l *List) locate(tx *stm.Tx, k uint64) (ptrCell, curr stm.Addr) {
+// locate returns (ptrCell, curr, node) where curr is the first node with
+// key >= k (node holds its loaded contents); ptrCell is the address of
+// the pointer cell leading to curr (the head cell or a node's next
+// field).
+func (l *List) locate(tx *stm.Tx, k uint64) (ptrCell, curr stm.Addr, node listNode) {
 	ptrCell = l.head
 	curr = tx.LoadAddr(ptrCell)
 	for curr != stm.Nil {
-		if tx.Load(curr+offKey) >= k {
-			return ptrCell, curr
+		node = stm.RefAt[listNode](curr).Load(tx)
+		if node.Key >= k {
+			return ptrCell, curr, node
 		}
 		ptrCell = curr + offNext
-		curr = tx.LoadAddr(ptrCell)
+		curr = node.Next
 	}
-	return ptrCell, stm.Nil
+	return ptrCell, stm.Nil, listNode{}
 }
 
 // Lookup returns the value stored under k.
 func (l *List) Lookup(tx *stm.Tx, k uint64) (uint64, bool) {
-	_, curr := l.locate(tx, k)
-	if curr == stm.Nil || tx.Load(curr+offKey) != k {
+	_, curr, node := l.locate(tx, k)
+	if curr == stm.Nil || node.Key != k {
 		return 0, false
 	}
-	return tx.Load(curr + offVal), true
+	return node.Val, true
 }
 
 // Contains reports whether k is in the set.
@@ -54,46 +69,47 @@ func (l *List) Contains(tx *stm.Tx, k uint64) bool {
 	return ok
 }
 
+// insertNode publishes a fresh node carrying k→v before curr, linked from
+// ptrCell. The link stores go through StoreAddr so profiling runs see the
+// head→node and node→node edges.
+func (l *List) insertNode(tx *stm.Tx, ptrCell, curr stm.Addr, k, v uint64) {
+	n := stm.AllocRef[listNode](tx, l.nodeSite)
+	n.Store(tx, listNode{Key: k, Val: v, Next: curr})
+	tx.StoreAddr(n.WordAddr(offNext), curr)
+	tx.StoreAddr(ptrCell, n.Addr())
+}
+
 // Insert adds k→v if absent; it reports whether the key was inserted.
 func (l *List) Insert(tx *stm.Tx, k, v uint64) bool {
-	ptrCell, curr := l.locate(tx, k)
-	if curr != stm.Nil && tx.Load(curr+offKey) == k {
+	ptrCell, curr, node := l.locate(tx, k)
+	if curr != stm.Nil && node.Key == k {
 		return false
 	}
-	n := tx.Alloc(l.nodeSite, listNodeWords)
-	tx.Store(n+offKey, k)
-	tx.Store(n+offVal, v)
-	tx.StoreAddr(n+offNext, curr)
-	tx.StoreAddr(ptrCell, n)
+	l.insertNode(tx, ptrCell, curr, k, v)
 	return true
 }
 
 // Set stores k→v, inserting or overwriting; it reports whether the key
 // was newly inserted.
 func (l *List) Set(tx *stm.Tx, k, v uint64) bool {
-	ptrCell, curr := l.locate(tx, k)
-	if curr != stm.Nil && tx.Load(curr+offKey) == k {
+	ptrCell, curr, node := l.locate(tx, k)
+	if curr != stm.Nil && node.Key == k {
 		tx.Store(curr+offVal, v)
 		return false
 	}
-	n := tx.Alloc(l.nodeSite, listNodeWords)
-	tx.Store(n+offKey, k)
-	tx.Store(n+offVal, v)
-	tx.StoreAddr(n+offNext, curr)
-	tx.StoreAddr(ptrCell, n)
+	l.insertNode(tx, ptrCell, curr, k, v)
 	return true
 }
 
 // Remove deletes k, returning its value.
 func (l *List) Remove(tx *stm.Tx, k uint64) (uint64, bool) {
-	ptrCell, curr := l.locate(tx, k)
-	if curr == stm.Nil || tx.Load(curr+offKey) != k {
+	ptrCell, curr, node := l.locate(tx, k)
+	if curr == stm.Nil || node.Key != k {
 		return 0, false
 	}
-	v := tx.Load(curr + offVal)
-	tx.StoreAddr(ptrCell, tx.LoadAddr(curr+offNext))
-	tx.Free(curr, listNodeWords)
-	return v, true
+	tx.StoreAddr(ptrCell, node.Next)
+	stm.RefAt[listNode](curr).Free(tx)
+	return node.Val, true
 }
 
 // Len counts the elements (O(n) walk).
@@ -108,8 +124,10 @@ func (l *List) Len(tx *stm.Tx) int {
 // Keys returns the keys in ascending order (test/report helper).
 func (l *List) Keys(tx *stm.Tx) []uint64 {
 	var out []uint64
-	for curr := tx.LoadAddr(l.head); curr != stm.Nil; curr = tx.LoadAddr(curr + offNext) {
-		out = append(out, tx.Load(curr+offKey))
+	for curr := tx.LoadAddr(l.head); curr != stm.Nil; {
+		node := stm.RefAt[listNode](curr).Load(tx)
+		out = append(out, node.Key)
+		curr = node.Next
 	}
 	return out
 }

@@ -6,9 +6,29 @@ import "repro/stm"
 // Queues concentrate every operation on two words, making them the
 // maximal-contention structure — the natural candidate for visible reads
 // or coarse conflict detection.
+//
+// Nodes are typed objects (stm.Ref): an operation loads each node with
+// one multi-word read instead of one word at a time. The meta cell stays
+// word-granular on the operation paths on purpose: Enqueue touches only
+// the tail word and Dequeue the head (plus the tail only when the queue
+// empties), so producers and consumers of a non-empty queue do not
+// read-write conflict through words they never needed — folding the pair
+// into one object read would serialize them.
 type Queue struct {
-	meta     stm.Addr // [0]=head, [1]=tail
+	meta     stm.Ref[queueMeta]
 	nodeSite stm.SiteID
+}
+
+// queueMeta is the heap layout of the queue's anchor cell.
+type queueMeta struct {
+	Head, Tail stm.Addr
+}
+
+// queueNode is the heap layout of one queue node. Field order mirrors
+// the word offsets below.
+type queueNode struct {
+	Val  uint64
+	Next stm.Addr
 }
 
 const (
@@ -25,45 +45,43 @@ const (
 func NewQueue(tx *stm.Tx, rt *stm.Runtime, name string) *Queue {
 	mSite := rt.RegisterSite(name + ".meta")
 	nSite := rt.RegisterSite(name + ".node")
-	meta := tx.Alloc(mSite, 2)
-	tx.Store(meta+qHead, uint64(stm.Nil))
-	tx.Store(meta+qTail, uint64(stm.Nil))
+	meta := stm.AllocRef[queueMeta](tx, mSite)
+	meta.Store(tx, queueMeta{Head: stm.Nil, Tail: stm.Nil})
 	return &Queue{meta: meta, nodeSite: nSite}
 }
 
 // Enqueue appends v.
 func (q *Queue) Enqueue(tx *stm.Tx, v uint64) {
-	n := tx.Alloc(q.nodeSite, qNodeWords)
-	tx.Store(n+qVal, v)
-	tx.StoreAddr(n+qNext, stm.Nil)
-	tail := tx.LoadAddr(q.meta + qTail)
+	n := stm.AllocRef[queueNode](tx, q.nodeSite)
+	n.Store(tx, queueNode{Val: v, Next: stm.Nil})
+	tail := tx.LoadAddr(q.meta.WordAddr(qTail))
 	if tail == stm.Nil {
-		tx.StoreAddr(q.meta+qHead, n)
+		tx.StoreAddr(q.meta.WordAddr(qHead), n.Addr())
 	} else {
-		tx.StoreAddr(tail+qNext, n)
+		tx.StoreAddr(tail+qNext, n.Addr())
 	}
-	tx.StoreAddr(q.meta+qTail, n)
+	tx.StoreAddr(q.meta.WordAddr(qTail), n.Addr())
 }
 
 // Dequeue removes and returns the oldest element.
 func (q *Queue) Dequeue(tx *stm.Tx) (uint64, bool) {
-	head := tx.LoadAddr(q.meta + qHead)
-	if head == stm.Nil {
+	headAddr := tx.LoadAddr(q.meta.WordAddr(qHead))
+	if headAddr == stm.Nil {
 		return 0, false
 	}
-	v := tx.Load(head + qVal)
-	next := tx.LoadAddr(head + qNext)
-	tx.StoreAddr(q.meta+qHead, next)
-	if next == stm.Nil {
-		tx.StoreAddr(q.meta+qTail, stm.Nil)
+	head := stm.RefAt[queueNode](headAddr)
+	node := head.Load(tx)
+	tx.StoreAddr(q.meta.WordAddr(qHead), node.Next)
+	if node.Next == stm.Nil {
+		tx.StoreAddr(q.meta.WordAddr(qTail), stm.Nil)
 	}
-	tx.Free(head, qNodeWords)
-	return v, true
+	head.Free(tx)
+	return node.Val, true
 }
 
 // Peek returns the oldest element without removing it.
 func (q *Queue) Peek(tx *stm.Tx) (uint64, bool) {
-	head := tx.LoadAddr(q.meta + qHead)
+	head := tx.LoadAddr(q.meta.WordAddr(qHead))
 	if head == stm.Nil {
 		return 0, false
 	}
@@ -73,8 +91,9 @@ func (q *Queue) Peek(tx *stm.Tx) (uint64, bool) {
 // Len counts queued elements.
 func (q *Queue) Len(tx *stm.Tx) int {
 	n := 0
-	for x := tx.LoadAddr(q.meta + qHead); x != stm.Nil; x = tx.LoadAddr(x + qNext) {
+	for x := tx.LoadAddr(q.meta.WordAddr(qHead)); x != stm.Nil; {
 		n++
+		x = stm.RefAt[queueNode](x).Load(tx).Next
 	}
 	return n
 }

@@ -13,6 +13,12 @@
 // so a profiling run discovers each structure as one connected component
 // and the partitioner places it in its own partition.
 //
+// Structures with fixed-size nodes (list, queue) model them as typed
+// objects (stm.Ref): a traversal loads each node with one multi-word
+// read instead of one word at a time, and node publication is one
+// multi-word write whose snapshot-history records group contiguously —
+// link fields still go through Tx.StoreAddr so profiling sees the edges.
+//
 // All operations take the Tx of an enclosing atomic block; structures are
 // safe for concurrent use through transactions. Keys and values are
 // uint64; key 0 is valid.
