@@ -263,6 +263,57 @@ func BenchmarkRefLoad(b *testing.B) {
 
 // --- primitive-cost micro-benchmarks ---
 
+// BenchmarkRunPinned is the baseline for the pooled-entry overhead
+// budget: the minimal update transaction on a Thread the caller pinned
+// once and reuses directly.
+func BenchmarkRunPinned(b *testing.B) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var a stm.Addr
+	th.Atomic(func(tx *stm.Tx) {
+		a = tx.Alloc(stm.SiteID(0), 1)
+		tx.Store(a, 0)
+	})
+	fn := func(tx *stm.Tx) error {
+		tx.Store(a, tx.Load(a)+1)
+		return nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := th.Run(fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunPooled measures the goroutine-native entry point: every
+// transaction borrows a pooled Thread through Runtime.Run and returns it.
+// The steady-state borrow is one sync.Pool hint get plus one CAS on the
+// free-slot bitmap; the acceptance budget is <= 15% over BenchmarkRunPinned
+// on this workload.
+func BenchmarkRunPooled(b *testing.B) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+	var a stm.Addr
+	if err := rt.Run(func(tx *stm.Tx) error {
+		a = tx.Alloc(stm.SiteID(0), 1)
+		tx.Store(a, 0)
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	fn := func(tx *stm.Tx) error {
+		tx.Store(a, tx.Load(a)+1)
+		return nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Run(fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkUncontendedIncrement measures the base cost of a minimal
 // read-modify-write transaction (one load, one store, commit).
 func BenchmarkUncontendedIncrement(b *testing.B) {

@@ -28,23 +28,21 @@ func main() {
 	rt.StartProfiling()
 
 	counterSite := rt.RegisterSite("quickstart.counter")
-	setup := rt.MustAttach()
 	var counter stm.Ref[Counter]
 	var list *txds.List
-	setup.Run(func(tx *stm.Tx) error {
+	rt.Run(func(tx *stm.Tx) error {
 		counter = stm.AllocRef[Counter](tx, counterSite)
 		counter.Store(tx, Counter{})
 		list = txds.NewList(tx, rt, "quickstart.list")
 		return nil
 	})
 	// Touch the list so the profiler sees its head→node links.
-	setup.Run(func(tx *stm.Tx) error {
+	rt.Run(func(tx *stm.Tx) error {
 		for k := uint64(0); k < 8; k++ {
 			list.Insert(tx, k, k*k)
 		}
 		return nil
 	})
-	rt.Detach(setup)
 
 	plan, err := rt.StopProfilingAndPartition()
 	if err != nil {
@@ -53,16 +51,17 @@ func main() {
 	fmt.Print(plan.Describe(rt.Sites()))
 
 	// Concurrent workers: every Run block is one serializable
-	// transaction; conflicts retry automatically.
+	// transaction; conflicts retry automatically. Transactions are
+	// goroutine-native — workers call rt.Run directly, and the runtime's
+	// slot pool hands each hot goroutine the same warm Thread on every
+	// call (pin one with rt.MustAttach only to shave that last cost).
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
 		go func(id uint64) {
 			defer wg.Done()
-			th := rt.MustAttach()
-			defer rt.Detach(th)
 			for i := 0; i < 1000; i++ {
-				th.Run(func(tx *stm.Tx) error {
+				rt.Run(func(tx *stm.Tx) error {
 					c := counter.Load(tx)
 					c.Hits++
 					c.Total += id
@@ -75,11 +74,9 @@ func main() {
 	}
 	wg.Wait()
 
-	check := rt.MustAttach()
-	defer rt.Detach(check)
 	// A read-only transaction: the ReadOnly option takes the cheap
 	// no-write-set path (and upgrades transparently if it ever writes).
-	check.Run(func(tx *stm.Tx) error {
+	rt.Run(func(tx *stm.Tx) error {
 		c := counter.Load(tx)
 		fmt.Printf("counter hits = %d (want 4000), total = %d (want 6000)\n", c.Hits, c.Total)
 		// Workers upsert keys 0..3999; the eight setup keys are a subset.

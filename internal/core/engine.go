@@ -58,6 +58,11 @@ type Engine struct {
 	mu       sync.Mutex // serializes attach/detach and plan installs
 	threads  [MaxThreads]atomic.Pointer[Thread]
 	nthreads int
+
+	// poolState is the goroutine-native slot pool behind RunPooled
+	// (pool.go): pooled Threads live in the same registry as pinned ones,
+	// so every engine mechanism treats them uniformly.
+	poolState
 	// retired accumulates the counters of detached threads so statistics
 	// survive thread churn; guarded by mu.
 	retired []PartStats
@@ -160,10 +165,19 @@ func (e *Engine) SetYieldEveryOps(n uint64) {
 }
 
 // AttachThread registers the calling goroutine and returns its Thread.
-// At most MaxThreads threads may be attached simultaneously.
+// At most MaxThreads threads may be attached simultaneously — pinned
+// attachments share the slot space with the RunPooled slot pool. Pin a
+// Thread for long-lived workers that run many transactions back to back
+// (or tests that need a stable slot); everything else should go through
+// RunPooled.
 func (e *Engine) AttachThread() (*Thread, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.attachLocked()
+}
+
+// attachLocked is AttachThread under e.mu; pool growth reuses it.
+func (e *Engine) attachLocked() (*Thread, error) {
 	slot := -1
 	for i := 0; i < MaxThreads; i++ {
 		if e.threads[i].Load() == nil {
@@ -216,8 +230,12 @@ func (e *Engine) MustAttachThread() *Thread {
 }
 
 // DetachThread releases a thread's slot. The thread must not be inside a
-// transaction.
+// transaction. Pooled threads are returned with ReturnThread, never
+// detached: their slot belongs to the pool for the engine's lifetime.
 func (e *Engine) DetachThread(th *Thread) {
+	if th.pooled {
+		panic("core: DetachThread on a pooled Thread (use ReturnThread)")
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.threads[th.slot].Load() == th {
@@ -551,6 +569,8 @@ func (e *Engine) run(th *Thread, cfg runCfg, fn func(*Tx) error) error {
 				Ops:        tx.opCount,
 				SnapHits:   tx.snapHits,
 				SnapMisses: tx.snapMisses,
+				Yields:     tx.yields,
+				Parks:      tx.parks,
 			})
 		}
 		switch {
@@ -616,6 +636,12 @@ type AttemptEvent struct {
 	// outside snapshot mode.
 	SnapHits   uint64
 	SnapMisses uint64
+	// Yields and Parks count wait-loop iterations that escalated past the
+	// spin budget into a scheduler yield or a timed sleep (see the waiting
+	// discipline in wait.go) — how much this attempt cooperated with the
+	// Go scheduler instead of spinning.
+	Yields uint64
+	Parks  uint64
 }
 
 // TxTracer receives one event per transaction attempt. Implementations

@@ -25,6 +25,13 @@ type PartThreadStats struct {
 	// WaitCycles approximates time spent spinning on this partition's
 	// orecs (CM wait-loop iterations).
 	WaitCycles atomic.Uint64
+	// Yields counts wait-loop iterations that escalated past the spin
+	// budget into a scheduler yield (runtime.Gosched), and Parks those
+	// that escalated further into a timed sleep — the scheduler-
+	// cooperation signals the tuner's spin-budget heuristic keys on. Both
+	// are subsets of WaitCycles.
+	Yields atomic.Uint64
+	Parks  atomic.Uint64
 	// SnapHits counts snapshot-mode reads served from the partition's
 	// multi-version store (a stale orec whose value at the pinned snapshot
 	// was reconstructed instead of extending or aborting).
@@ -45,6 +52,8 @@ func (s *PartThreadStats) accumulateInto(out *PartStats) {
 	out.UpdateCommits += s.UpdateCommits.Load()
 	out.ROCommits += s.ROCommits.Load()
 	out.WaitCycles += s.WaitCycles.Load()
+	out.Yields += s.Yields.Load()
+	out.Parks += s.Parks.Load()
 	out.SnapHits += s.SnapHits.Load()
 	out.SnapMisses += s.SnapMisses.Load()
 	for i := range s.Aborts {
@@ -63,6 +72,8 @@ type PartStats struct {
 	ROCommits     uint64
 	Aborts        [NumAbortCauses]uint64
 	WaitCycles    uint64
+	Yields        uint64
+	Parks         uint64
 	SnapHits      uint64
 	SnapMisses    uint64
 }
@@ -75,6 +86,8 @@ func (s *PartStats) add(o *PartStats) {
 	s.UpdateCommits += o.UpdateCommits
 	s.ROCommits += o.ROCommits
 	s.WaitCycles += o.WaitCycles
+	s.Yields += o.Yields
+	s.Parks += o.Parks
 	s.SnapHits += o.SnapHits
 	s.SnapMisses += o.SnapMisses
 	for i := range s.Aborts {
@@ -129,6 +142,8 @@ func (s PartStats) Sub(old PartStats) PartStats {
 	d.UpdateCommits -= old.UpdateCommits
 	d.ROCommits -= old.ROCommits
 	d.WaitCycles -= old.WaitCycles
+	d.Yields -= old.Yields
+	d.Parks -= old.Parks
 	d.SnapHits -= old.SnapHits
 	d.SnapMisses -= old.SnapMisses
 	for i := range d.Aborts {

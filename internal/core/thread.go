@@ -12,28 +12,30 @@ import (
 // 64-bit word, exactly as in reader-bitmap STM designs.
 const MaxThreads = 64
 
-// Thread is a per-goroutine transaction context. Each worker goroutine
-// attaches once, runs transactions through Engine.Atomic, and detaches
-// when done. A Thread must not be shared across goroutines.
+// cacheLine is the assumed coherence granule for the padding that keeps
+// the Thread's cross-thread control words off the owner's hot state.
+const cacheLine = 64
+
+// Thread is a per-goroutine transaction context. Pinned workers attach
+// one explicitly (Engine.AttachThread) and run transactions through
+// Thread.Run; ordinary goroutines never see one — Engine.RunPooled (the
+// facade's Runtime.Run) borrows a pooled Thread per call. A Thread must
+// not be shared across goroutines.
+//
+// Layout: the owner-private fields come first; the control words that
+// cross thread boundaries are split into two cache-line-padded groups so
+// that (a) a contender's kill store never invalidates the line the owner
+// rewrites on every operation (progress), and (b) neither group shares a
+// line with the owner-hot Tx state behind it.
 type Thread struct {
 	eng  *Engine
 	slot int
+	// pooled marks Threads owned by the engine's slot pool: they are
+	// attached once, borrowed and returned by RunPooled, and never
+	// detached (DetachThread rejects them).
+	pooled bool
 
 	alloc *memory.Allocator
-
-	// killed is set by other threads' contention managers; polled at every
-	// transactional operation and at commit.
-	killed atomic.Uint32
-	// active is 1 while the thread is inside a transaction attempt; the
-	// quiescence gate waits on it.
-	active atomic.Uint32
-	// progress exports accumulated work of the current attempt for karma
-	// arbitration.
-	progress atomic.Uint64
-	// beginSeq is the transaction's begin ordinal, assigned once per
-	// top-level transaction (not per attempt) so that CMTimestamp's
-	// older-wins arbitration gives long-retrying transactions priority.
-	beginSeq atomic.Uint64
 
 	// stats points to this thread's per-partition counter blocks. The
 	// engine replaces the slice (under the registry lock, during quiescence)
@@ -45,6 +47,26 @@ type Thread struct {
 	stats atomic.Pointer[[]PartThreadStats]
 
 	rng uint64 // xorshift state for backoff jitter
+
+	_ [cacheLine]byte
+	// Owner-written, cross-thread-read: active gates quiescence, progress
+	// and beginSeq feed karma/timestamp arbitration in other threads.
+	// progress is rewritten every transactional operation, so this line
+	// must hold nothing any other thread writes.
+	active   atomic.Uint32
+	progress atomic.Uint64
+	// beginSeq is the transaction's begin ordinal, assigned once per
+	// top-level transaction (not per attempt) so that CMTimestamp's
+	// older-wins arbitration gives long-retrying transactions priority.
+	beginSeq atomic.Uint64
+	_        [cacheLine - 20]byte
+
+	// killed is the one word other threads write (contention managers'
+	// kill); polled at every transactional operation and at commit. It
+	// gets a line of its own so a kill storm against this thread does not
+	// bounce the owner-written line above.
+	killed atomic.Uint32
+	_      [cacheLine - 4]byte
 
 	tx Tx // reusable transaction descriptor
 }

@@ -94,6 +94,10 @@ type Tx struct {
 	snapHits   uint64
 	snapMisses uint64
 	opCount    uint64
+	// yields/parks count wait-loop escalations past the spin budget this
+	// attempt (see wait.go); they ride into AttemptEvent next to opCount.
+	yields uint64
+	parks  uint64
 
 	rs      []readEntry
 	ws      []writeEntry
@@ -179,6 +183,8 @@ func (tx *Tx) begin(readOnly, snap bool) {
 	tx.snapHits = 0
 	tx.snapMisses = 0
 	tx.opCount = 0
+	tx.yields = 0
+	tx.parks = 0
 	tx.rs = tx.rs[:0]
 	tx.ws = tx.ws[:0]
 	tx.locks = tx.locks[:0]
@@ -491,11 +497,8 @@ func (tx *Tx) loadInvisible(ps *partState, o *orec, addr memory.Addr, st *PartTh
 					}
 				}
 				tx.checkKilled()
-				st.WaitCycles.Add(1)
 				spins++
-				if spins&31 == 0 {
-					runtime.Gosched()
-				}
+				tx.stall(spins, ps.cfg.SpinBudget, st)
 				continue
 			}
 			tx.cmConflict(ps, o, l1, AbortLockedOnRead, &spins, st)
@@ -805,11 +808,8 @@ func (tx *Tx) loadSnapWords(ps *partState, o *orec, addr memory.Addr, dst []uint
 				}
 			}
 			tx.checkKilled()
-			st.WaitCycles.Add(1)
 			spins++
-			if spins&31 == 0 {
-				runtime.Gosched()
-			}
+			tx.stall(spins, ps.cfg.SpinBudget, st)
 			continue
 		}
 		for j := i; j < end; j++ {
@@ -1000,23 +1000,20 @@ func (tx *Tx) drainReaders(ps *partState, o *orec, st *PartThreadStats) {
 					other.kill()
 				}
 			}
-			st.WaitCycles.Add(1)
+			// The killed readers need the processor to notice and clear
+			// their bits: an unbounded wait, so the full spin→yield→park
+			// escalation applies.
 			spins++
-			if spins&63 == 0 {
-				runtime.Gosched()
-			}
+			tx.stall(spins, ps.cfg.SpinBudget, st)
 			tx.checkKilled() // we may be a visible reader elsewhere, under attack
 			continue
 		}
-		// WriterYieldsToReaders
-		st.WaitCycles.Add(1)
+		// WriterYieldsToReaders: bounded patience, then step aside.
 		spins++
 		if spins > ps.cfg.SpinBudget {
 			tx.abort(AbortReaderWall)
 		}
-		if spins&31 == 0 {
-			runtime.Gosched()
-		}
+		tx.stall(spins, ps.cfg.SpinBudget, st)
 		tx.checkKilled()
 	}
 }
@@ -1030,21 +1027,18 @@ func (tx *Tx) cmConflict(ps *partState, o *orec, l uint64, cause AbortCause, spi
 		tx.abort(cause)
 	case CMSpin:
 		*spins++
-		st.WaitCycles.Add(1)
 		if *spins > ps.cfg.SpinBudget {
 			tx.abort(cause)
 		}
-		if *spins&31 == 0 {
-			runtime.Gosched()
-		}
+		tx.stall(*spins, ps.cfg.SpinBudget, st)
 	case CMKarma:
 		owner := tx.eng.threadBySlot(lockOwner(l))
 		*spins++
-		st.WaitCycles.Add(1)
 		if owner == nil {
 			if *spins > ps.cfg.SpinBudget {
 				tx.abort(cause)
 			}
+			tx.stall(*spins, ps.cfg.SpinBudget, st)
 			return
 		}
 		if tx.opCount > owner.progress.Load() {
@@ -1052,30 +1046,25 @@ func (tx *Tx) cmConflict(ps *partState, o *orec, l uint64, cause AbortCause, spi
 			if *spins > 8*ps.cfg.SpinBudget {
 				tx.abort(cause) // victim is not dying; give up
 			}
-			if *spins&31 == 0 {
-				runtime.Gosched()
-			}
+			// The victim needs the processor to notice the kill; past the
+			// budget, stall yields it ours.
+			tx.stall(*spins, ps.cfg.SpinBudget, st)
 			return
 		}
 		if *spins > ps.cfg.SpinBudget {
 			tx.abort(cause)
 		}
-		if *spins&31 == 0 {
-			runtime.Gosched()
-		}
+		tx.stall(*spins, ps.cfg.SpinBudget, st)
 	case CMAggressive:
 		owner := tx.eng.threadBySlot(lockOwner(l))
 		if owner != nil {
 			owner.kill()
 		}
 		*spins++
-		st.WaitCycles.Add(1)
 		if *spins > 8*ps.cfg.SpinBudget {
 			tx.abort(cause)
 		}
-		if *spins&31 == 0 {
-			runtime.Gosched()
-		}
+		tx.stall(*spins, ps.cfg.SpinBudget, st)
 	case CMBackoff:
 		*spins++
 		st.WaitCycles.Add(1)
@@ -1101,31 +1090,28 @@ func (tx *Tx) cmConflict(ps *partState, o *orec, l uint64, cause AbortCause, spi
 	case CMTimestamp:
 		owner := tx.eng.threadBySlot(lockOwner(l))
 		*spins++
-		st.WaitCycles.Add(1)
 		if owner == nil || owner == tx.th {
 			if *spins > ps.cfg.SpinBudget {
 				tx.abort(cause)
 			}
+			tx.stall(*spins, ps.cfg.SpinBudget, st)
 			return
 		}
 		if tx.th.beginSeq.Load() < owner.beginSeq.Load() {
-			// We are older: kill the owner and wait for the lock to drain.
+			// We are older: kill the owner and wait for the lock to drain
+			// (stall yields past the budget so the victim can run and die).
 			owner.kill()
 			if *spins > 8*ps.cfg.SpinBudget {
 				tx.abort(cause) // victim is not dying; give up
 			}
-			if *spins&31 == 0 {
-				runtime.Gosched()
-			}
+			tx.stall(*spins, ps.cfg.SpinBudget, st)
 			return
 		}
-		// We are younger: wait briefly for the elder, then yield.
+		// We are younger: wait briefly for the elder, then step aside.
 		if *spins > ps.cfg.SpinBudget {
 			tx.abort(cause)
 		}
-		if *spins&31 == 0 {
-			runtime.Gosched()
-		}
+		tx.stall(*spins, ps.cfg.SpinBudget, st)
 	default:
 		tx.abort(cause)
 	}

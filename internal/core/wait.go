@@ -1,0 +1,65 @@
+package core
+
+import (
+	"runtime"
+	"time"
+)
+
+// Waiting discipline. Every bounded wait loop in the transaction
+// protocol — the snapshot reader waiting out a lock holder, a writer
+// draining visible readers, the spinning contention managers — advances
+// through stall, which escalates in three phases keyed to the
+// partition's tuned SpinBudget:
+//
+//  1. spins <= budget: stay on-CPU. A short jittered pause (spinWait)
+//     keeps re-probes off the contended cache line without entering the
+//     scheduler, so waits shorter than a lock hold resolve in nanoseconds.
+//  2. budget < spins <= parkFactor*budget: yield. On oversubscribed
+//     hosts (goroutines >> GOMAXPROCS >> slots) the lock owner may simply
+//     not be running; runtime.Gosched every iteration gives it the
+//     processor instead of burning the core.
+//  3. spins > parkFactor*budget: park. A hold this long means the owner
+//     is descheduled or wedged; escalating time.Sleep takes this waiter
+//     off the run queue entirely so pathological holds cannot starve the
+//     scheduler.
+//
+// Loops whose contention manager aborts at the budget never leave phase
+// 1; the unbounded waits (snapshot lock waits, reader draining, the
+// 8x-budget karma/timestamp patience) are the ones the yield and park
+// phases exist for. Every stall counts one WaitCycle; phases 2 and 3
+// additionally count Yields and Parks — per partition (PartThreadStats)
+// and per attempt (AttemptEvent) — so the tuner's spin-budget heuristic
+// and the trace recorder see exactly how often waits escalate into the
+// scheduler.
+
+// parkFactor is the multiple of the spin budget past which a waiter
+// stops yielding and starts sleeping. It deliberately equals the
+// patience bound of the waiting contention managers (8x budget), so CM
+// waits abort before ever sleeping.
+const parkFactor = 8
+
+// maxParkMicros caps one park at 100µs: long enough to take a wedged
+// waiter off the CPU, short enough to notice a release promptly.
+const maxParkMicros = 100
+
+// stall advances one iteration of a bounded wait loop; spins is the
+// 1-based iteration count and budget the partition's SpinBudget.
+func (tx *Tx) stall(spins, budget int, st *PartThreadStats) {
+	st.WaitCycles.Add(1)
+	switch {
+	case spins <= budget:
+		spinWait(tx.th.nextRand() & 15)
+	case spins <= parkFactor*budget:
+		st.Yields.Add(1)
+		tx.yields++
+		runtime.Gosched()
+	default:
+		st.Parks.Add(1)
+		tx.parks++
+		over := spins - parkFactor*budget
+		if over > maxParkMicros {
+			over = maxParkMicros
+		}
+		time.Sleep(time.Duration(over) * time.Microsecond)
+	}
+}

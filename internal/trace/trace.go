@@ -35,6 +35,12 @@ type Recorder struct {
 	// missed by) the multi-version store across all recorded attempts.
 	snapHits   atomic.Uint64
 	snapMisses atomic.Uint64
+
+	// yields/parks aggregate wait-loop escalations into the scheduler
+	// (Gosched / timed sleep) across all recorded attempts — the
+	// scheduler-cooperation picture next to the abort mix.
+	yields atomic.Uint64
+	parks  atomic.Uint64
 }
 
 // NewRecorder creates a recorder keeping the last capacity events
@@ -64,6 +70,12 @@ func (r *Recorder) TraceAttempt(ev core.AttemptEvent) {
 	}
 	if ev.SnapMisses > 0 {
 		r.snapMisses.Add(ev.SnapMisses)
+	}
+	if ev.Yields > 0 {
+		r.yields.Add(ev.Yields)
+	}
+	if ev.Parks > 0 {
+		r.parks.Add(ev.Parks)
 	}
 	for {
 		cur := r.maxOps.Load()
@@ -98,6 +110,12 @@ func (r *Recorder) SnapHits() uint64 { return r.snapHits.Load() }
 // validate/extend path) recorded.
 func (r *Recorder) SnapMisses() uint64 { return r.snapMisses.Load() }
 
+// Yields returns the total scheduler yields recorded in wait loops.
+func (r *Recorder) Yields() uint64 { return r.yields.Load() }
+
+// Parks returns the total timed-sleep parks recorded in wait loops.
+func (r *Recorder) Parks() uint64 { return r.parks.Load() }
+
 // Snapshot returns the buffered events oldest-first. Call it after
 // removing the recorder from the engine (SetTracer(nil)) for an exact
 // tail; a live snapshot may miss events being written concurrently.
@@ -131,6 +149,9 @@ func (r *Recorder) Summary() string {
 	}
 	if h, m := r.snapHits.Load(), r.snapMisses.Load(); h > 0 || m > 0 {
 		fmt.Fprintf(&b, "  snapshot store: %d hits, %d misses\n", h, m)
+	}
+	if y, p := r.yields.Load(), r.parks.Load(); y > 0 || p > 0 {
+		fmt.Fprintf(&b, "  scheduler: %d yields, %d parks\n", y, p)
 	}
 	return b.String()
 }

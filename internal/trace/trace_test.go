@@ -175,6 +175,24 @@ func TestTracerRemovalStopsRecording(t *testing.T) {
 	}
 }
 
+// TestSchedulerCountersInSummary checks the recorder aggregates wait
+// escalations (yields, parks) from attempt events and surfaces them in
+// the summary.
+func TestSchedulerCountersInSummary(t *testing.T) {
+	r := NewRecorder(8)
+	r.TraceAttempt(core.AttemptEvent{Slot: 0, Attempt: 1, Cause: core.AbortNone, Yields: 4, Parks: 1})
+	r.TraceAttempt(core.AttemptEvent{Slot: 1, Attempt: 2, Cause: core.AbortKilled, Yields: 2})
+	if r.Yields() != 6 || r.Parks() != 1 {
+		t.Fatalf("scheduler counters = %d/%d, want 6/1", r.Yields(), r.Parks())
+	}
+	if s := r.Summary(); !strings.Contains(s, "scheduler: 6 yields, 1 parks") {
+		t.Fatalf("summary missing scheduler line:\n%s", s)
+	}
+	if s := NewRecorder(1).Summary(); strings.Contains(s, "scheduler") {
+		t.Fatalf("idle summary mentions scheduler:\n%s", s)
+	}
+}
+
 // TestSnapshotCountersInSummary checks the recorder aggregates
 // snapshot-store hits and misses from attempt events and surfaces them
 // in the summary.

@@ -55,6 +55,16 @@
 //     cost. Every direction requires its condition to hold for
 //     Hysteresis consecutive epochs.
 //
+//  6. Spin budget (optional, AdaptSpin): the engine's waiting discipline
+//     counts how often a partition's wait loops escalate past its
+//     SpinBudget into scheduler yields and timed parks
+//     (PartStats.Yields/Parks, subsets of WaitCycles). A partition whose
+//     waits routinely escalate halves its budget — the spin phase buys
+//     no resolutions, and on oversubscribed hosts it steals cycles from
+//     the very lock owners being waited on; one aborting heavily on lock
+//     conflicts while its waits never escalate doubles it, trading
+//     patience for aborts.
+//
 // The tuner works on per-epoch deltas of the engine's monotonic
 // per-partition counters; actuation goes through Engine.Reconfigure,
 // which swaps the partition's configuration and orec table under
@@ -127,6 +137,27 @@ type Config struct {
 	// above which a partition-local engine reverts to the global counter.
 	ToGlobalCrossShare float64
 
+	// AdaptSpin enables heuristic (6): per-partition spin-budget
+	// adaptation from the waiting discipline's scheduler-cooperation
+	// counters (PartStats.Yields/Parks). A partition whose waits routinely
+	// escalate past the spin budget into yields and parks is burning its
+	// budget without resolutions — on oversubscribed hosts those cycles
+	// are stolen from the very lock owners being waited on — so the budget
+	// halves. Conversely a partition aborting heavily on lock conflicts
+	// while its waits never escalate is giving up on holds a little more
+	// patience would survive: the budget doubles.
+	AdaptSpin bool
+	// ToShrinkYieldShare: fraction of wait cycles that escalated into
+	// yields/parks at or above which the spin budget halves.
+	ToShrinkYieldShare float64
+	// ToGrowLockAbortRate: lock-conflict aborts per attempt at or above
+	// which — with waits essentially never escalating — the budget
+	// doubles.
+	ToGrowLockAbortRate float64
+	// MinSpinBudget / MaxSpinBudget bound the adaptation.
+	MinSpinBudget int
+	MaxSpinBudget int
+
 	// AdaptSnapshot enables heuristic (5): per-partition snapshot-history
 	// adaptation for abort-free read-only transactions.
 	AdaptSnapshot bool
@@ -170,6 +201,12 @@ func DefaultConfig() Config {
 		ToSnapshotDemand:  64,
 		ToSnapshotROShare: 0.60,
 		SnapshotHistCap:   1024,
+
+		AdaptSpin:           false,
+		ToShrinkYieldShare:  0.50,
+		ToGrowLockAbortRate: 0.10,
+		MinSpinBudget:       16,
+		MaxSpinBudget:       4096,
 	}
 }
 
@@ -246,6 +283,13 @@ type partTuneState struct {
 	snapPrevTrunc  uint64
 	snapPrevSteals uint64
 
+	// Spin-budget adaptation (heuristic 6) needs only streaks: the budget
+	// moves one doubling at a time and the decision inputs (yield share,
+	// lock-abort rate) price the trade directly, so there is no regret
+	// probe to unwind.
+	spinShrinkStreak int
+	spinGrowStreak   int
+
 	climb         climbState
 	stableEpochs  int
 	baseline      float64 // commits per epoch before the probe
@@ -288,6 +332,18 @@ func New(eng *core.Engine, cfg Config) *Tuner {
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = 50 * time.Millisecond
+	}
+	if cfg.ToShrinkYieldShare <= 0 {
+		cfg.ToShrinkYieldShare = 0.50
+	}
+	if cfg.ToGrowLockAbortRate <= 0 {
+		cfg.ToGrowLockAbortRate = 0.10
+	}
+	if cfg.MinSpinBudget <= 0 {
+		cfg.MinSpinBudget = 16
+	}
+	if cfg.MaxSpinBudget <= 0 {
+		cfg.MaxSpinBudget = 4096
 	}
 	return &Tuner{
 		eng:    eng,
@@ -384,6 +440,12 @@ func (t *Tuner) Tick() []Decision {
 		}
 		if t.cfg.AdaptSnapshot {
 			if d, ok := t.snapStep(p, &delta, st); ok {
+				applied = append(applied, d)
+				continue
+			}
+		}
+		if t.cfg.AdaptSpin {
+			if d, ok := t.spinStep(p, &delta, st); ok {
 				applied = append(applied, d)
 				continue
 			}
@@ -700,6 +762,62 @@ func (t *Tuner) snapStep(p *core.Partition, d *core.PartStats, st *partTuneState
 		newCfg := cfg
 		newCfg.HistCap = 0
 		return t.apply(p, cfg, newCfg, st, "no snapshot demand under update traffic: drop snapshot store")
+	}
+	return Decision{}, false
+}
+
+// spinStep applies heuristic (6): adapt the partition's SpinBudget to
+// the observed waiting discipline. The engine's wait loops escalate from
+// on-CPU spinning (within the budget) to scheduler yields and parks
+// (past it), counting each phase separately — so the ratio of escalated
+// waits to total wait cycles says directly whether the budget is doing
+// its job. Waits that mostly escalate mean the budget buys no
+// resolutions and its cycles are better handed to the scheduler: halve
+// it. Lock-conflict aborts dominating while waits essentially never
+// escalate mean transactions are giving up on holds that a little more
+// on-CPU patience would survive: double it. Both directions hold for
+// Hysteresis consecutive epochs before acting and are clamped to
+// [MinSpinBudget, MaxSpinBudget].
+func (t *Tuner) spinStep(p *core.Partition, d *core.PartStats, st *partTuneState) (Decision, bool) {
+	cfg := p.Config()
+	esc := d.Yields + d.Parks
+	var escShare float64
+	if d.WaitCycles > 0 {
+		escShare = float64(esc) / float64(d.WaitCycles)
+	}
+	if d.WaitCycles > 0 && escShare >= t.cfg.ToShrinkYieldShare && cfg.SpinBudget/2 >= t.cfg.MinSpinBudget {
+		st.spinShrinkStreak++
+	} else {
+		st.spinShrinkStreak = 0
+	}
+	if st.spinShrinkStreak >= t.cfg.Hysteresis {
+		st.spinShrinkStreak = 0
+		newCfg := cfg
+		newCfg.SpinBudget = cfg.SpinBudget / 2
+		return t.apply(p, cfg, newCfg, st,
+			fmt.Sprintf("%.0f%% of waits escalate to the scheduler (%d yields, %d parks): halve spin budget %d -> %d",
+				escShare*100, d.Yields, d.Parks, cfg.SpinBudget, newCfg.SpinBudget))
+	}
+
+	attempts := d.Commits + d.TotalAborts()
+	lockAborts := d.Aborts[core.AbortLockedOnRead] + d.Aborts[core.AbortLockedOnWrite]
+	lockRate := float64(0)
+	if attempts > 0 {
+		lockRate = float64(lockAborts) / float64(attempts)
+	}
+	if lockRate >= t.cfg.ToGrowLockAbortRate && escShare < t.cfg.ToShrinkYieldShare/8 &&
+		cfg.SpinBudget*2 <= t.cfg.MaxSpinBudget {
+		st.spinGrowStreak++
+	} else {
+		st.spinGrowStreak = 0
+	}
+	if st.spinGrowStreak >= t.cfg.Hysteresis {
+		st.spinGrowStreak = 0
+		newCfg := cfg
+		newCfg.SpinBudget = cfg.SpinBudget * 2
+		return t.apply(p, cfg, newCfg, st,
+			fmt.Sprintf("lock-abort rate %.2f with non-escalating waits: double spin budget %d -> %d",
+				lockRate, cfg.SpinBudget, newCfg.SpinBudget))
 	}
 	return Decision{}, false
 }

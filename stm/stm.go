@@ -8,28 +8,37 @@
 //
 // The STM manages a word-addressable heap (package internal/memory):
 // objects are allocated at named allocation sites and addressed by Addr.
-// Worker goroutines attach a Thread and run transactions through Run, the
-// single options-driven entrypoint; typed multi-word objects live behind
-// generic Ref handles:
+// Transactions are goroutine-native: any goroutine calls Runtime.Run,
+// the single options-driven entrypoint, with no per-goroutine setup;
+// typed multi-word objects live behind generic Ref handles:
 //
 //	rt, _ := stm.New(stm.Config{HeapWords: 1 << 22})
 //	site := rt.RegisterSite("app.account")
-//	th := rt.MustAttach()
-//	defer rt.Detach(th)
 //
 //	type Account struct{ Balance, Limit uint64 }
 //	var acct stm.Ref[Account]
-//	th.Run(func(tx *stm.Tx) error {
+//	rt.Run(func(tx *stm.Tx) error {
 //		acct = stm.AllocRef[Account](tx, site)
 //		acct.Store(tx, Account{Balance: 100, Limit: 500})
 //		return nil
 //	})
-//	th.Run(func(tx *stm.Tx) error {
+//	rt.Run(func(tx *stm.Tx) error {
 //		a := acct.Load(tx) // one multi-word read, one footprint touch
 //		a.Balance++
 //		acct.Store(tx, a)
 //		return nil
 //	})
+//
+// Underneath, Run borrows one of the MaxThreads Thread slots from the
+// runtime's pool for the duration of the call: the steady-state
+// borrow/return is lock-free (one CAS each way through a small victim
+// cache, so a hot goroutine keeps re-claiming the Thread it used last
+// with its allocator and transaction state warm), and when every slot is
+// busy the call parks on a FIFO queue until one frees — admission
+// control, never a failure. Long-lived workers that want to shave even
+// that cost can still pin a Thread explicitly (Runtime.Attach /
+// MustAttach / Detach) and call Thread.Run; pinned threads and the pool
+// share the same MaxThreads slot space.
 //
 // Functional options select the execution mode: Run(fn) is an update
 // transaction retried until commit; Run(fn, stm.ReadOnly()) takes the
@@ -171,9 +180,11 @@ type (
 	// multi-version snapshot store: capacity, appends, live records and
 	// the retained version span.
 	SnapshotHistoryStats = mvstore.Stats
-	// TxOpt is a functional option selecting how Thread.Run executes a
+	// TxOpt is a functional option selecting how Run executes a
 	// transaction (see ReadOnly, Snapshot, MaxAttempts, OnAbort).
 	TxOpt = core.TxOpt
+	// PoolStats is a momentary reading of the Runtime.Run slot pool.
+	PoolStats = core.PoolStats
 )
 
 // ErrMaxAttempts is returned by Thread.Run when a MaxAttempts budget is
@@ -357,14 +368,39 @@ func (r *Runtime) RegisterSite(name string) SiteID {
 // Sites exposes the site table (for reports).
 func (r *Runtime) Sites() *memory.Sites { return r.arena.Sites() }
 
-// Attach registers the calling goroutine and returns its Thread.
+// Run runs fn as one transaction from any goroutine, in the mode
+// selected by opts (ReadOnly, Snapshot, MaxAttempts, OnAbort), retrying
+// on conflict until it commits. No Thread management is needed: a pooled
+// Thread is borrowed from the runtime's slot pool for the duration of the
+// call and returned on completion, a hot goroutine transparently
+// re-claims the Thread it used last (keeping its allocator and
+// transaction state warm), and when all MaxThreads slots are busy the
+// call parks on a FIFO queue until one frees — admission control, never
+// a failure. This is the recommended entrypoint; see Attach for when to
+// pin a Thread instead.
+func (r *Runtime) Run(fn func(*Tx) error, opts ...TxOpt) error {
+	return r.eng.RunPooled(fn, opts...)
+}
+
+// Attach registers the calling goroutine and returns a pinned Thread.
+//
+// Most code should use Runtime.Run and never see a Thread. Pin one only
+// when a long-lived worker runs many transactions back to back and wants
+// to shave the (small) borrow/return cost per call, or when a test needs
+// a stable slot identity. Pinned threads consume slots from the same
+// MaxThreads space as the Run pool for as long as they stay attached —
+// a pinned Thread held idle is admission capacity taken from Run.
 func (r *Runtime) Attach() (*Thread, error) { return r.eng.AttachThread() }
 
 // MustAttach is Attach that panics when all thread slots are taken.
 func (r *Runtime) MustAttach() *Thread { return r.eng.MustAttachThread() }
 
-// Detach releases a thread's slot.
+// Detach releases a pinned thread's slot.
 func (r *Runtime) Detach(th *Thread) { r.eng.DetachThread(th) }
+
+// PoolStats returns a momentary reading of the Run slot pool (size, idle
+// Threads, warm-path hits, handoffs to parked borrowers, waits).
+func (r *Runtime) PoolStats() PoolStats { return r.eng.PoolStats() }
 
 // StartProfiling begins recording pointer-store connectivity for the
 // partition analysis. Run a representative warm-up workload while it is

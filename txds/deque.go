@@ -7,6 +7,13 @@ import "repro/stm"
 // fine-grained conflict detection lets front- and back-workers proceed in
 // parallel while coarse granularity serializes them — a minimal
 // illustration of the paper's granularity discussion.
+//
+// Nodes are typed objects (stm.Ref[dequeNode]): pushes publish the whole
+// node with one multi-word write and pops load it with one multi-word
+// read. The two-word meta block deliberately stays word-granular: a
+// PushFront touches only the front word and a PushBack only the back
+// word, so folding them into one typed object would re-serialize the two
+// ends that the layout exists to keep independent.
 type Deque struct {
 	meta     stm.Addr // [0]=front, [1]=back
 	nodeSite stm.SiteID
@@ -15,11 +22,19 @@ type Deque struct {
 const (
 	dqFront = 0
 	dqBack  = 1
+)
 
-	dqVal       = 0
-	dqPrev      = 1
-	dqNext      = 2
-	dqNodeWords = 3
+// dequeNode is the heap layout of one node. Field order mirrors the word
+// offsets (dqVal, dqPrev, dqNext).
+type dequeNode struct {
+	Val        uint64
+	Prev, Next stm.Addr
+}
+
+const (
+	dqVal  = 0
+	dqPrev = 1
+	dqNext = 2
 )
 
 // NewDeque creates an empty deque with sites "<name>.meta" and
@@ -33,34 +48,33 @@ func NewDeque(tx *stm.Tx, rt *stm.Runtime, name string) *Deque {
 	return &Deque{meta: meta, nodeSite: nSite}
 }
 
-// PushFront prepends v.
+// PushFront prepends v. The node→successor link goes through StoreAddr so
+// profiling runs see the edge.
 func (d *Deque) PushFront(tx *stm.Tx, v uint64) {
-	n := tx.Alloc(d.nodeSite, dqNodeWords)
-	tx.Store(n+dqVal, v)
-	tx.StoreAddr(n+dqPrev, stm.Nil)
 	front := tx.LoadAddr(d.meta + dqFront)
-	tx.StoreAddr(n+dqNext, front)
+	n := stm.AllocRef[dequeNode](tx, d.nodeSite)
+	n.Store(tx, dequeNode{Val: v, Prev: stm.Nil, Next: front})
+	tx.StoreAddr(n.WordAddr(dqNext), front)
 	if front == stm.Nil {
-		tx.StoreAddr(d.meta+dqBack, n)
+		tx.StoreAddr(d.meta+dqBack, n.Addr())
 	} else {
-		tx.StoreAddr(front+dqPrev, n)
+		tx.StoreAddr(front+dqPrev, n.Addr())
 	}
-	tx.StoreAddr(d.meta+dqFront, n)
+	tx.StoreAddr(d.meta+dqFront, n.Addr())
 }
 
 // PushBack appends v.
 func (d *Deque) PushBack(tx *stm.Tx, v uint64) {
-	n := tx.Alloc(d.nodeSite, dqNodeWords)
-	tx.Store(n+dqVal, v)
-	tx.StoreAddr(n+dqNext, stm.Nil)
 	back := tx.LoadAddr(d.meta + dqBack)
-	tx.StoreAddr(n+dqPrev, back)
+	n := stm.AllocRef[dequeNode](tx, d.nodeSite)
+	n.Store(tx, dequeNode{Val: v, Prev: back, Next: stm.Nil})
+	tx.StoreAddr(n.WordAddr(dqPrev), back)
 	if back == stm.Nil {
-		tx.StoreAddr(d.meta+dqFront, n)
+		tx.StoreAddr(d.meta+dqFront, n.Addr())
 	} else {
-		tx.StoreAddr(back+dqNext, n)
+		tx.StoreAddr(back+dqNext, n.Addr())
 	}
-	tx.StoreAddr(d.meta+dqBack, n)
+	tx.StoreAddr(d.meta+dqBack, n.Addr())
 }
 
 // PopFront removes and returns the first element.
@@ -69,16 +83,16 @@ func (d *Deque) PopFront(tx *stm.Tx) (uint64, bool) {
 	if front == stm.Nil {
 		return 0, false
 	}
-	v := tx.Load(front + dqVal)
-	next := tx.LoadAddr(front + dqNext)
-	tx.StoreAddr(d.meta+dqFront, next)
-	if next == stm.Nil {
+	f := stm.RefAt[dequeNode](front)
+	node := f.Load(tx)
+	tx.StoreAddr(d.meta+dqFront, node.Next)
+	if node.Next == stm.Nil {
 		tx.StoreAddr(d.meta+dqBack, stm.Nil)
 	} else {
-		tx.StoreAddr(next+dqPrev, stm.Nil)
+		tx.StoreAddr(node.Next+dqPrev, stm.Nil)
 	}
-	tx.Free(front, dqNodeWords)
-	return v, true
+	f.Free(tx)
+	return node.Val, true
 }
 
 // PopBack removes and returns the last element.
@@ -87,16 +101,16 @@ func (d *Deque) PopBack(tx *stm.Tx) (uint64, bool) {
 	if back == stm.Nil {
 		return 0, false
 	}
-	v := tx.Load(back + dqVal)
-	prev := tx.LoadAddr(back + dqPrev)
-	tx.StoreAddr(d.meta+dqBack, prev)
-	if prev == stm.Nil {
+	b := stm.RefAt[dequeNode](back)
+	node := b.Load(tx)
+	tx.StoreAddr(d.meta+dqBack, node.Prev)
+	if node.Prev == stm.Nil {
 		tx.StoreAddr(d.meta+dqFront, stm.Nil)
 	} else {
-		tx.StoreAddr(prev+dqNext, stm.Nil)
+		tx.StoreAddr(node.Prev+dqNext, stm.Nil)
 	}
-	tx.Free(back, dqNodeWords)
-	return v, true
+	b.Free(tx)
+	return node.Val, true
 }
 
 // Front returns the first element without removing it.
@@ -105,7 +119,7 @@ func (d *Deque) Front(tx *stm.Tx) (uint64, bool) {
 	if front == stm.Nil {
 		return 0, false
 	}
-	return tx.Load(front + dqVal), true
+	return stm.RefAt[dequeNode](front).Load(tx).Val, true
 }
 
 // Back returns the last element without removing it.
@@ -114,7 +128,7 @@ func (d *Deque) Back(tx *stm.Tx) (uint64, bool) {
 	if back == stm.Nil {
 		return 0, false
 	}
-	return tx.Load(back + dqVal), true
+	return stm.RefAt[dequeNode](back).Load(tx).Val, true
 }
 
 // Len counts elements front to back.
@@ -129,8 +143,10 @@ func (d *Deque) Len(tx *stm.Tx) int {
 // Values returns the elements front to back.
 func (d *Deque) Values(tx *stm.Tx) []uint64 {
 	var out []uint64
-	for x := tx.LoadAddr(d.meta + dqFront); x != stm.Nil; x = tx.LoadAddr(x + dqNext) {
-		out = append(out, tx.Load(x+dqVal))
+	for x := tx.LoadAddr(d.meta + dqFront); x != stm.Nil; {
+		node := stm.RefAt[dequeNode](x).Load(tx)
+		out = append(out, node.Val)
+		x = node.Next
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package txds
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -164,12 +165,17 @@ func TestStackAgainstModel(t *testing.T) {
 
 // TestStackConcurrentConservation pushes a known multiset from several
 // goroutines while others pop; total pushed = total popped + remaining.
+// All workers are plain goroutines going through the pooled rt.Run —
+// no visible Thread management.
 func TestStackConcurrentConservation(t *testing.T) {
 	rt := newRT(t)
-	setup := rt.MustAttach()
 	var s *Stack
-	setup.Atomic(func(tx *stm.Tx) { s = NewStack(tx, rt, "stc") })
-	rt.Detach(setup)
+	if err := rt.Run(func(tx *stm.Tx) error {
+		s = NewStack(tx, rt, "stc")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
 
 	const pushers, perP = 4, 400
 	var popped sync.Map
@@ -179,11 +185,15 @@ func TestStackConcurrentConservation(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			th := rt.MustAttach()
-			defer rt.Detach(th)
 			for i := 0; i < perP; i++ {
 				tag := uint64(id*perP + i)
-				th.Atomic(func(tx *stm.Tx) { s.Push(tx, tag) })
+				if err := rt.Run(func(tx *stm.Tx) error {
+					s.Push(tx, tag)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
 			}
 		}(w)
 	}
@@ -192,8 +202,6 @@ func TestStackConcurrentConservation(t *testing.T) {
 		popWg.Add(1)
 		go func() {
 			defer popWg.Done()
-			th := rt.MustAttach()
-			defer rt.Detach(th)
 			for {
 				select {
 				case <-stop:
@@ -202,7 +210,13 @@ func TestStackConcurrentConservation(t *testing.T) {
 				}
 				var tag uint64
 				var ok bool
-				th.Atomic(func(tx *stm.Tx) { tag, ok = s.Pop(tx) })
+				if err := rt.Run(func(tx *stm.Tx) error {
+					tag, ok = s.Pop(tx)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
 				if ok {
 					if _, dup := popped.LoadOrStore(tag, true); dup {
 						t.Errorf("value %d popped twice", tag)
@@ -216,12 +230,15 @@ func TestStackConcurrentConservation(t *testing.T) {
 	popWg.Wait()
 
 	// Drain the remainder single-threaded; the union must be exact.
-	th := rt.MustAttach()
-	defer rt.Detach(th)
 	for {
 		var tag uint64
 		var ok bool
-		th.Atomic(func(tx *stm.Tx) { tag, ok = s.Pop(tx) })
+		if err := rt.Run(func(tx *stm.Tx) error {
+			tag, ok = s.Pop(tx)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
 		if !ok {
 			break
 		}
@@ -233,5 +250,82 @@ func TestStackConcurrentConservation(t *testing.T) {
 		if _, ok := popped.Load(uint64(i)); !ok {
 			t.Fatalf("value %d lost", i)
 		}
+	}
+}
+
+// TestDequePooledMixedEnds drives the two deque ends from pooled
+// goroutines (rt.Run) with read-only length probes mixed in: front
+// workers cycle values through the front, back workers through the back,
+// and per-end conservation must hold.
+func TestDequePooledMixedEnds(t *testing.T) {
+	rt := newRT(t)
+	var d *Deque
+	if err := rt.Run(func(tx *stm.Tx) error {
+		d = NewDeque(tx, rt, "dqp")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perW = 6, 120
+	var pushed, popped atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			front := id%2 == 0
+			for i := 0; i < perW; i++ {
+				if err := rt.Run(func(tx *stm.Tx) error {
+					if front {
+						d.PushFront(tx, uint64(id))
+					} else {
+						d.PushBack(tx, uint64(id))
+					}
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				pushed.Add(1)
+				if i%3 == 0 {
+					if err := rt.Run(func(tx *stm.Tx) error {
+						d.Len(tx)
+						return nil
+					}, stm.ReadOnly()); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				var ok bool
+				if err := rt.Run(func(tx *stm.Tx) error {
+					if front {
+						_, ok = d.PopFront(tx)
+					} else {
+						_, ok = d.PopBack(tx)
+					}
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
+					popped.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var remaining int
+	if err := rt.Run(func(tx *stm.Tx) error {
+		remaining = d.Len(tx)
+		return nil
+	}, stm.ReadOnly()); err != nil {
+		t.Fatal(err)
+	}
+	if got := popped.Load() + uint64(remaining); got != pushed.Load() {
+		t.Fatalf("conservation: pushed %d, popped %d + remaining %d",
+			pushed.Load(), popped.Load(), remaining)
 	}
 }

@@ -5,15 +5,27 @@ import "repro/stm"
 // Stack is a LIFO stack over a singly-linked chain. All operations fight
 // over the single top-of-stack word, giving the highest possible conflict
 // density per structure — every pair of concurrent operations conflicts.
+//
+// Nodes are typed objects (stm.Ref[stackNode]): a Pop loads the node with
+// one multi-word read and a Push publishes it with one multi-word write,
+// so each operation costs one footprint touch per node instead of one per
+// field, and snapshot readers reconstruct nodes from the version store
+// with a single index probe.
 type Stack struct {
 	top      stm.Addr // one word: pointer to the top node
 	nodeSite stm.SiteID
 }
 
+// stackNode is the heap layout of one node. Field order mirrors the word
+// offsets (stVal, stNext).
+type stackNode struct {
+	Val  uint64
+	Next stm.Addr
+}
+
 const (
-	stVal       = 0
-	stNext      = 1
-	stNodeWords = 2
+	stVal  = 0
+	stNext = 1
 )
 
 // NewStack creates an empty stack with sites "<name>.top" and
@@ -26,33 +38,36 @@ func NewStack(tx *stm.Tx, rt *stm.Runtime, name string) *Stack {
 	return &Stack{top: top, nodeSite: nSite}
 }
 
-// Push adds v on top.
+// Push adds v on top. The top→node link goes through StoreAddr so
+// profiling runs see the edge.
 func (s *Stack) Push(tx *stm.Tx, v uint64) {
-	n := tx.Alloc(s.nodeSite, stNodeWords)
-	tx.Store(n+stVal, v)
-	tx.StoreAddr(n+stNext, tx.LoadAddr(s.top))
-	tx.StoreAddr(s.top, n)
+	old := tx.LoadAddr(s.top)
+	n := stm.AllocRef[stackNode](tx, s.nodeSite)
+	n.Store(tx, stackNode{Val: v, Next: old})
+	tx.StoreAddr(n.WordAddr(stNext), old)
+	tx.StoreAddr(s.top, n.Addr())
 }
 
 // Pop removes and returns the top element.
 func (s *Stack) Pop(tx *stm.Tx) (uint64, bool) {
-	n := tx.LoadAddr(s.top)
-	if n == stm.Nil {
+	top := tx.LoadAddr(s.top)
+	if top == stm.Nil {
 		return 0, false
 	}
-	v := tx.Load(n + stVal)
-	tx.StoreAddr(s.top, tx.LoadAddr(n+stNext))
-	tx.Free(n, stNodeWords)
-	return v, true
+	n := stm.RefAt[stackNode](top)
+	node := n.Load(tx)
+	tx.StoreAddr(s.top, node.Next)
+	n.Free(tx)
+	return node.Val, true
 }
 
 // Peek returns the top element without removing it.
 func (s *Stack) Peek(tx *stm.Tx) (uint64, bool) {
-	n := tx.LoadAddr(s.top)
-	if n == stm.Nil {
+	top := tx.LoadAddr(s.top)
+	if top == stm.Nil {
 		return 0, false
 	}
-	return tx.Load(n + stVal), true
+	return stm.RefAt[stackNode](top).Load(tx).Val, true
 }
 
 // Len counts stacked elements.
