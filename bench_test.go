@@ -261,6 +261,90 @@ func BenchmarkRefLoad(b *testing.B) {
 	})
 }
 
+// BenchmarkAllocFreeChurn measures the allocate/retire/reclaim cycle on
+// the commit path: every transaction replaces an 8-word node (one Alloc,
+// one Free), so steady state continually retires into limbo and drains it
+// through the NeedsReclaim-gated commit-path sweeps. The reclaimed-words
+// metric is the conservation check — at quiesce it must account for
+// everything retired (words/op approaches 8).
+func BenchmarkAllocFreeChurn(b *testing.B) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 18})
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var cell stm.Addr
+	th.Atomic(func(tx *stm.Tx) {
+		cell = tx.Alloc(stm.SiteID(0), 1)
+		n := tx.Alloc(stm.SiteID(0), 8)
+		tx.Store(n, 1)
+		tx.StoreAddr(cell, n)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Atomic(func(tx *stm.Tx) {
+			old := tx.LoadAddr(cell)
+			n := tx.Alloc(stm.SiteID(0), 8)
+			tx.Store(n, tx.Load(old)+1)
+			tx.StoreAddr(cell, n)
+			tx.Free(old, 8)
+		})
+	}
+	b.StopTimer()
+	th.Reclaim()
+	rs := rt.ReclaimStats()
+	if rs.RetiredWords != rs.ReclaimedWords {
+		b.Fatalf("limbo not drained at quiesce: retired %d, reclaimed %d", rs.RetiredWords, rs.ReclaimedWords)
+	}
+	b.ReportMetric(float64(rs.ReclaimedWords)/float64(b.N), "reclaimed-words/op")
+}
+
+// BenchmarkAllocFreeChurnSnapshot is the same churn with a snapshot store
+// attached and a snapshot-mode scan interleaved every 8 updates: commits
+// pay the history append, and the retire/reclaim cycle runs against
+// readers that actually publish pinned stamps into the epoch table.
+func BenchmarkAllocFreeChurnSnapshot(b *testing.B) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 18, SnapshotHistory: 1 << 10})
+	th := rt.MustAttach()
+	defer rt.Detach(th)
+	var cell stm.Addr
+	th.Atomic(func(tx *stm.Tx) {
+		cell = tx.Alloc(stm.SiteID(0), 1)
+		n := tx.Alloc(stm.SiteID(0), 8)
+		tx.Store(n, 1)
+		tx.StoreAddr(cell, n)
+	})
+	scan := func(tx *stm.Tx) error {
+		n := tx.LoadAddr(cell)
+		var s uint64
+		for w := 0; w < 8; w++ {
+			s += tx.Load(n + stm.Addr(w))
+		}
+		_ = s
+		return nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Atomic(func(tx *stm.Tx) {
+			old := tx.LoadAddr(cell)
+			n := tx.Alloc(stm.SiteID(0), 8)
+			tx.Store(n, tx.Load(old)+1)
+			tx.StoreAddr(cell, n)
+			tx.Free(old, 8)
+		})
+		if i&7 == 0 {
+			if err := rt.Run(scan, stm.Snapshot()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	th.Reclaim() // the pinned writer's limbo
+	rt.Reclaim() // the pooled scan threads' + shared overflow
+	rs := rt.ReclaimStats()
+	if rs.LimboWords != 0 {
+		b.Fatalf("limbo not drained at quiesce: %d words", rs.LimboWords)
+	}
+}
+
 // --- primitive-cost micro-benchmarks ---
 
 // BenchmarkRunPinned is the baseline for the pooled-entry overhead

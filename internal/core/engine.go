@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/epoch"
 	"repro/internal/memory"
 	"repro/internal/mvstore"
 )
@@ -52,6 +53,12 @@ type Engine struct {
 	// gate, when nonzero, blocks new transaction attempts; reconfigurers
 	// raise it and wait for all threads to go inactive.
 	gate atomic.Uint32
+
+	// epochs is the published-reader table behind the reclamation horizon:
+	// every transaction publishes a clock-ceiling stamp at begin and clears
+	// it at finish, and retired heap objects recycle only once the minimum
+	// over live stamps passes their retire stamp (see reclaim.go).
+	epochs *epoch.Table
 
 	topo atomic.Pointer[topology]
 
@@ -107,6 +114,7 @@ func NewEngine(arena *memory.Arena, cfg PartConfig) *Engine {
 		arena:      arena,
 		blockShift: arena.BlockShift(),
 		blockSite:  arena.BlockSiteTable(),
+		epochs:     epoch.New(),
 	}
 	global := newPartition(GlobalPartition, "global", cfg)
 	e.topo.Store(&topology{parts: []*Partition{global}})
@@ -239,6 +247,12 @@ func (e *Engine) DetachThread(th *Thread) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.threads[th.slot].Load() == th {
+		// Slot hygiene: the thread is outside any transaction, so its epoch
+		// slot must be idle — clear defensively so a recycled slot can never
+		// stall the horizon — and its pending retires move to the arena's
+		// shared overflow limbo, where any thread's next reclaim finds them.
+		e.epochs.Clear(th.slot)
+		th.alloc.FlushLimbo()
 		e.threads[th.slot].Store(nil)
 		e.nthreads--
 		st := *th.stats.Load()
@@ -563,14 +577,16 @@ func (e *Engine) run(th *Thread, cfg runCfg, fn func(*Tx) error) error {
 		th.exitGate()
 		if box := e.tracer.Load(); box != nil {
 			box.t.TraceAttempt(AttemptEvent{
-				Slot:       th.slot,
-				Attempt:    attempt,
-				Cause:      cause,
-				Ops:        tx.opCount,
-				SnapHits:   tx.snapHits,
-				SnapMisses: tx.snapMisses,
-				Yields:     tx.yields,
-				Parks:      tx.parks,
+				Slot:           th.slot,
+				Attempt:        attempt,
+				Cause:          cause,
+				Ops:            tx.opCount,
+				SnapHits:       tx.snapHits,
+				SnapMisses:     tx.snapMisses,
+				Yields:         tx.yields,
+				Parks:          tx.parks,
+				RetiredWords:   tx.retiredWords,
+				ReclaimedWords: tx.reclaimedWords,
 			})
 		}
 		switch {
@@ -642,6 +658,12 @@ type AttemptEvent struct {
 	// Go scheduler instead of spinning.
 	Yields uint64
 	Parks  uint64
+	// RetiredWords counts heap words this attempt's commit retired into
+	// limbo (0 for aborts: their allocations recycle immediately without
+	// entering limbo); ReclaimedWords counts words the attempt migrated
+	// from limbo back to free lists when its commit-path reclaim ran.
+	RetiredWords   uint64
+	ReclaimedWords uint64
 }
 
 // TxTracer receives one event per transaction attempt. Implementations

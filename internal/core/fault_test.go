@@ -192,7 +192,8 @@ func TestAllocAbortRecycles(t *testing.T) {
 }
 
 // TestFreeRecyclesAfterCommit verifies transactional frees feed the free
-// list only on commit.
+// list only on commit — and, since frees retire into limbo, only after a
+// reclaim pass sees the horizon move past the freeing commit.
 func TestFreeRecyclesAfterCommit(t *testing.T) {
 	e := newTestEngine(t, DefaultPartConfig())
 	th := e.MustAttachThread()
@@ -211,8 +212,10 @@ func TestFreeRecyclesAfterCommit(t *testing.T) {
 	if b == a {
 		t.Fatal("free from aborted transaction took effect")
 	}
-	// Free in a committed tx: must recycle.
+	// Free in a committed tx: must recycle once reclaimed. No transaction
+	// is live here, so the horizon is idle and one drain suffices.
 	th.Atomic(func(tx *Tx) { tx.Free(a, 7) })
+	th.Reclaim()
 	var c memory.Addr
 	th.Atomic(func(tx *Tx) { c = tx.Alloc(memory.DefaultSite, 7) })
 	if c != a {

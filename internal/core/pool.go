@@ -80,6 +80,12 @@ func (e *Engine) ReturnThread(th *Thread) {
 	if th == nil || !th.pooled {
 		panic("core: ReturnThread on a Thread not borrowed from the pool")
 	}
+	// Epoch hygiene: a returned slot is outside any transaction, so its
+	// published reclamation stamp must be idle. finish() already cleared it
+	// on every exit path; this defensive clear guarantees a parked pooled
+	// slot can never strand a stale stamp and stall the horizon for the
+	// engine's whole lifetime (one store on a slot only we own).
+	e.epochs.Clear(th.slot)
 	if !e.cachePut(th.slot) {
 		e.poolFree.Or(uint64(1) << uint(th.slot))
 	}

@@ -1,0 +1,143 @@
+package core
+
+// This file is the engine-level face of epoch-based memory reclamation:
+// the horizon computed from the published-reader table (internal/epoch),
+// the aggregate reclamation statistics, and the maintenance entry points
+// (ReclaimNow, KillHorizonPinner) that tests, servers and the tuner's
+// horizon-stall heuristic drive.
+//
+// The protocol pieces live elsewhere: tx.begin publishes a clock-ceiling
+// stamp before sampling any snapshot, tx.finish clears it and retires
+// commit-time frees at a post-commit ceiling (tx.go), and the limbo lists
+// that hold retired objects until the horizon passes belong to the
+// allocators (internal/memory).
+
+import "repro/internal/epoch"
+
+// HorizonIdle is the horizon reading when no transaction is live anywhere:
+// everything retired is immediately reclaimable.
+const HorizonIdle = epoch.Idle
+
+// Horizon returns the global reclamation horizon: the minimum published
+// begin stamp over all live transactions, or HorizonIdle when none is
+// active. An object retired at stamp R may be recycled once Horizon() > R
+// — every live reader then provably began after the freeing commit
+// completed, so no snapshot it reads at (pinned or extended) can reach
+// the object.
+func (e *Engine) Horizon() uint64 { return e.epochs.Horizon() }
+
+// ReclaimStats is a momentary reading of the engine's reclamation state.
+type ReclaimStats struct {
+	// Horizon is the minimum live begin stamp (HorizonIdle when no
+	// transaction is running).
+	Horizon uint64
+	// Ceiling is the commit clock's current ceiling, the reference point
+	// for lag.
+	Ceiling uint64
+	// HorizonLag is how far the oldest live reader's stamp trails the
+	// clock ceiling (0 when idle): the age, in commit ticks, of the reader
+	// currently gating all reclamation. A lag that keeps growing while
+	// limbo is non-empty is a horizon stall — typically one parked
+	// long-running snapshot transaction.
+	HorizonLag uint64
+	// RetiredWords and ReclaimedWords are the cumulative arena counters;
+	// LimboWords is their difference, the words currently awaiting the
+	// horizon. At quiesce (no live readers, after a ReclaimNow) Retired
+	// equals Reclaimed.
+	RetiredWords   uint64
+	ReclaimedWords uint64
+	LimboWords     uint64
+}
+
+// ReclaimStats returns the engine's current reclamation statistics.
+func (e *Engine) ReclaimStats() ReclaimStats {
+	h := e.epochs.Horizon()
+	c := e.Clock()
+	var lag uint64
+	if h < c { // h == HorizonIdle exceeds any real ceiling: lag 0
+		lag = c - h
+	}
+	m := e.arena.ReclaimStats()
+	return ReclaimStats{
+		Horizon:        h,
+		Ceiling:        c,
+		HorizonLag:     lag,
+		RetiredWords:   m.RetiredWords,
+		ReclaimedWords: m.ReclaimedWords,
+		LimboWords:     m.LimboWords,
+	}
+}
+
+// ReclaimNow sweeps the horizon once and drains every claimable limbo
+// against it: all currently idle pooled Threads' limbos plus the arena's
+// shared overflow. It returns the words reclaimed. Commit paths already
+// reclaim incrementally (one sweep per ReclaimBatch retires); this is the
+// quiesce/maintenance entry point — call it after a churn phase to verify
+// RetiredWords == ReclaimedWords, or periodically from a server's
+// housekeeping loop. Pinned Threads' limbos belong to their owners (see
+// Thread.Reclaim). Must not be called from inside a transaction.
+func (e *Engine) ReclaimNow() uint64 {
+	h := e.epochs.Horizon()
+	var claimed []*Thread
+	for {
+		th := e.claimIdle()
+		if th == nil {
+			break
+		}
+		claimed = append(claimed, th)
+	}
+	if len(claimed) == 0 {
+		// No pooled Thread exists yet (pinned-only usage): try to create
+		// one so the shared overflow still drains; if the registry is full
+		// the drain simply waits for the next commit-path reclaim.
+		if th := e.growPool(); th != nil {
+			claimed = append(claimed, th)
+		}
+	}
+	var words uint64
+	for _, th := range claimed {
+		words += th.alloc.Reclaim(h) // also drains the shared overflow
+	}
+	for _, th := range claimed {
+		e.ReturnThread(th)
+	}
+	return words
+}
+
+// Reclaim drains this thread's own limbo (and the shared overflow)
+// against the current horizon, returning the words reclaimed. For pinned
+// workers that want deterministic reclamation points; must be called by
+// the owning goroutine, outside a transaction.
+func (th *Thread) Reclaim() uint64 {
+	return th.alloc.Reclaim(th.eng.epochs.Horizon())
+}
+
+// EpochStamp returns the stamp slot currently publishes for the given
+// thread slot (HorizonIdle when no transaction is live there). Exposed
+// for tests and diagnostics.
+func (e *Engine) EpochStamp(slot int) uint64 {
+	if slot < 0 || slot >= MaxThreads {
+		return HorizonIdle
+	}
+	return e.epochs.Load(slot)
+}
+
+// KillHorizonPinner kills the transaction currently pinning the horizon
+// (the live attempt with the minimum published stamp), returning that
+// stamp. The victim observes the kill at its next transactional operation,
+// aborts, and retries with a fresh — current — stamp, which releases the
+// horizon. This is the tuner's mitigation for horizon stalls caused by a
+// parked long-running snapshot reader; the reader itself loses only its
+// current attempt.
+func (e *Engine) KillHorizonPinner() (uint64, bool) {
+	slot, stamp := e.epochs.MinSlot()
+	if slot < 0 {
+		return 0, false
+	}
+	th := e.threadBySlot(slot)
+	if th == nil {
+		return 0, false
+	}
+	th.kill()
+	return stamp, true
+}

@@ -98,6 +98,12 @@ type Tx struct {
 	// attempt (see wait.go); they ride into AttemptEvent next to opCount.
 	yields uint64
 	parks  uint64
+	// retiredWords/reclaimedWords count heap words this attempt retired
+	// into limbo at commit and migrated back to free lists (finish's
+	// commit-path reclaim); they ride into AttemptEvent next to the wait
+	// counters.
+	retiredWords   uint64
+	reclaimedWords uint64
 
 	rs      []readEntry
 	ws      []writeEntry
@@ -185,6 +191,8 @@ func (tx *Tx) begin(readOnly, snap bool) {
 	tx.opCount = 0
 	tx.yields = 0
 	tx.parks = 0
+	tx.retiredWords = 0
+	tx.reclaimedWords = 0
 	tx.rs = tx.rs[:0]
 	tx.ws = tx.ws[:0]
 	tx.locks = tx.locks[:0]
@@ -207,6 +215,17 @@ func (tx *Tx) begin(readOnly, snap bool) {
 	tx.th.progress.Store(0)
 	tx.tb = tx.eng.timeBase()
 	tx.pl = tx.tb.Mode() == clock.ModePartitionLocal
+	// Publish the reclamation stamp BEFORE sampling any snapshot: the
+	// horizon sweep must be able to see this transaction before it bases a
+	// single read on the clock, else a reclaimer that misses the slot could
+	// recycle an address an already-sampled snapshot can still reach (the
+	// ordering contract in internal/epoch). The stamp is a ceiling sample —
+	// comparable across both time-base modes, and a lower bound on every
+	// snapshot this attempt will ever hold, pinned or extended. All modes
+	// publish: snapshot readers reconstruct freed addresses from history,
+	// and update/read-only attempts also gate on it so extension never
+	// revalidates against a recycled word.
+	tx.eng.epochs.Publish(tx.th.slot, tx.tb.Ceiling())
 	if tx.pl {
 		// Per-partition snapshots are sampled lazily at first touch; the
 		// epoch sample anchors the cross-partition staleness check.
@@ -1502,13 +1521,34 @@ func (tx *Tx) rollback(cause AbortCause) {
 // finish releases per-attempt state. committed selects commit vs. abort
 // bookkeeping (locks/bits are handled by the caller for commits).
 func (tx *Tx) finish(committed bool) {
+	// This attempt no longer reads anything: stop pinning the horizon
+	// before doing reclamation bookkeeping, so a solo thread's own retires
+	// become reclaimable immediately.
+	tx.eng.epochs.Clear(tx.th.slot)
 	if committed {
 		bit := tx.th.readerBit()
 		for _, o := range tx.vreads {
 			o.readers.And(^bit)
 		}
-		for _, f := range tx.frees {
-			tx.th.alloc.Free(f.addr, f.n)
+		if len(tx.frees) > 0 {
+			// Commit-time frees enter limbo stamped with a ceiling sampled
+			// after this commit's write versions published (tb.Commit ran,
+			// locks may or may not be released yet — either way the unlink
+			// is at or below this reading on every timeline). They recycle
+			// only once the horizon passes the stamp; contrast the abort
+			// path in rollback, which recycles never-published allocations
+			// immediately.
+			stamp := tx.tb.Ceiling()
+			for _, f := range tx.frees {
+				tx.th.alloc.Retire(f.addr, f.n, stamp)
+				tx.retiredWords += uint64(f.n)
+			}
+		}
+		if tx.th.alloc.NeedsReclaim() {
+			// Amortized reclamation: one horizon sweep per ReclaimBatch
+			// retires (the allocator re-arms the trigger), so a stalled
+			// horizon costs a bounded fraction of commit work.
+			tx.reclaimedWords += tx.th.alloc.Reclaim(tx.eng.epochs.Horizon())
 		}
 		for i := range tx.touched {
 			st := tx.th.statsFor(tx.touched[i].p.id)
@@ -1544,8 +1584,12 @@ func (tx *Tx) Alloc(site memory.SiteID, n int) memory.Addr {
 	return a
 }
 
-// Free schedules the object at addr (n words) for recycling if and when
-// the transaction commits. The caller must already have unlinked it.
+// Free schedules the object at addr (n words) for reclamation if and when
+// the transaction commits. The caller must already have unlinked it. The
+// object does not recycle at commit: it is retired into the thread's
+// limbo stamped with the commit's clock reading and reaches a free list
+// only once the global horizon passes that stamp — i.e. once no live
+// reader, snapshot reconstruction included, could still traverse to it.
 func (tx *Tx) Free(addr memory.Addr, n int) {
 	if addr == memory.Nil {
 		return

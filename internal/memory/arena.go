@@ -14,6 +14,15 @@
 // single allocation site (see Sites); the partitioning subsystem assigns
 // sites to partitions, which makes address→partition lookup a single slice
 // index on the block number.
+//
+// Reclamation is epoch-based: transactionally freed objects are retired
+// into per-thread limbo lists stamped with the freeing commit's clock
+// reading (Allocator.Retire) and migrate to the real free lists only once
+// the engine's published-reader horizon (internal/epoch) passes their
+// stamp (Allocator.Reclaim) — so an address is never recycled while any
+// live snapshot reader could still reconstruct it. A shared overflow
+// limbo on the arena catches retires from detached allocators, and
+// Arena.ReclaimStats exposes the retire/reclaim/limbo word counters.
 package memory
 
 import (
@@ -69,6 +78,17 @@ type Arena struct {
 	sites *Sites
 
 	allocated atomic.Uint64 // words handed out (for stats)
+
+	// Epoch-based reclamation state (see reclaim.go): cumulative retire and
+	// reclaim word counters (their difference is the live limbo footprint),
+	// and the shared overflow limbo where detached allocators flush pending
+	// retires. sharedLive mirrors "sharedLimbo non-empty" so the drain's
+	// common case skips the mutex.
+	retiredWords   atomic.Uint64
+	reclaimedWords atomic.Uint64
+	limboMu        sync.Mutex
+	sharedLimbo    []retiredObj
+	sharedLive     atomic.Uint32
 }
 
 // NewArena creates an arena with the given configuration.

@@ -555,6 +555,22 @@ type Stats struct {
 	RangeFastHits uint64
 }
 
+// HorizonShortfall reports how far the given reclamation horizon (the
+// oldest live reader's begin stamp, core.Engine.Horizon) trails the
+// buffer's retained version span: OldestVersion - horizon when the reader
+// predates every retained record, else 0. A zero shortfall means the
+// stalled reader's snapshot is still servable, so growing retention (the
+// AdaptSnapshot response to TruncMisses) can help it; a positive shortfall
+// means the reader already outlived the ring and only unpinning it —
+// waiting it out or killing it — can move the horizon. An idle horizon
+// (no live reader, all bits set) never reports a shortfall.
+func (s Stats) HorizonShortfall(horizon uint64) uint64 {
+	if s.Live == 0 || horizon >= s.OldestVersion {
+		return 0
+	}
+	return s.OldestVersion - horizon
+}
+
 // Stats scans the ring and reports capacity, append count, live records,
 // the retained version span, and the lookup counters. Concurrent appends
 // make the reading approximate; every field is exact on a quiescent

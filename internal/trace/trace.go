@@ -41,6 +41,14 @@ type Recorder struct {
 	// scheduler-cooperation picture next to the abort mix.
 	yields atomic.Uint64
 	parks  atomic.Uint64
+
+	// retiredWords/reclaimedWords aggregate heap words retired into limbo
+	// by recorded commits and migrated back to free lists by their
+	// commit-path reclaims — the churn picture next to the abort mix. A
+	// retired total far ahead of reclaimed across a long trace means the
+	// horizon is not keeping up (see core.ReclaimStats.HorizonLag).
+	retiredWords   atomic.Uint64
+	reclaimedWords atomic.Uint64
 }
 
 // NewRecorder creates a recorder keeping the last capacity events
@@ -76,6 +84,12 @@ func (r *Recorder) TraceAttempt(ev core.AttemptEvent) {
 	}
 	if ev.Parks > 0 {
 		r.parks.Add(ev.Parks)
+	}
+	if ev.RetiredWords > 0 {
+		r.retiredWords.Add(ev.RetiredWords)
+	}
+	if ev.ReclaimedWords > 0 {
+		r.reclaimedWords.Add(ev.ReclaimedWords)
 	}
 	for {
 		cur := r.maxOps.Load()
@@ -116,6 +130,14 @@ func (r *Recorder) Yields() uint64 { return r.yields.Load() }
 // Parks returns the total timed-sleep parks recorded in wait loops.
 func (r *Recorder) Parks() uint64 { return r.parks.Load() }
 
+// RetiredWords returns the total heap words recorded commits retired into
+// reclamation limbo.
+func (r *Recorder) RetiredWords() uint64 { return r.retiredWords.Load() }
+
+// ReclaimedWords returns the total heap words recorded attempts migrated
+// from limbo back to free lists.
+func (r *Recorder) ReclaimedWords() uint64 { return r.reclaimedWords.Load() }
+
 // Snapshot returns the buffered events oldest-first. Call it after
 // removing the recorder from the engine (SetTracer(nil)) for an exact
 // tail; a live snapshot may miss events being written concurrently.
@@ -152,6 +174,9 @@ func (r *Recorder) Summary() string {
 	}
 	if y, p := r.yields.Load(), r.parks.Load(); y > 0 || p > 0 {
 		fmt.Fprintf(&b, "  scheduler: %d yields, %d parks\n", y, p)
+	}
+	if ret, rec := r.retiredWords.Load(), r.reclaimedWords.Load(); ret > 0 || rec > 0 {
+		fmt.Fprintf(&b, "  reclamation: %d words retired, %d reclaimed\n", ret, rec)
 	}
 	return b.String()
 }

@@ -158,6 +158,27 @@ type Config struct {
 	MinSpinBudget int
 	MaxSpinBudget int
 
+	// AdaptHorizon enables heuristic (7): engine-level horizon-stall
+	// detection for epoch-based reclamation. One long-parked transaction
+	// pins the global horizon at its begin stamp; every word freed since
+	// then sits in limbo, unreclaimed, engine-wide. The step watches for the
+	// same minimum stamp persisting across Hysteresis epochs with the lag
+	// (clock ceiling minus horizon) at or above ToHorizonStallLag while
+	// limbo is non-empty, and records a decision naming the stall; with
+	// HorizonKill set it also kills the pinning transaction
+	// (core.Engine.KillHorizonPinner), which costs that reader one attempt
+	// and releases the horizon. The decision's reason reports the snapshot
+	// stores' HorizonShortfall so a trace shows whether retention growth
+	// could instead have served the stalled reader (shortfall 0) or the
+	// reader had already outlived every retained version.
+	AdaptHorizon bool
+	// ToHorizonStallLag is the minimum horizon lag, in commit ticks, for
+	// the stall streak to advance.
+	ToHorizonStallLag uint64
+	// HorizonKill makes a detected stall kill the pinning transaction
+	// rather than only recording the decision.
+	HorizonKill bool
+
 	// AdaptSnapshot enables heuristic (5): per-partition snapshot-history
 	// adaptation for abort-free read-only transactions.
 	AdaptSnapshot bool
@@ -197,6 +218,10 @@ func DefaultConfig() Config {
 		ToPartitionLocalUpdates: 1000,
 		ToGlobalCrossShare:      0.50,
 
+		AdaptHorizon:      false,
+		ToHorizonStallLag: 1024,
+		HorizonKill:       false,
+
 		AdaptSnapshot:     false,
 		ToSnapshotDemand:  64,
 		ToSnapshotROShare: 0.60,
@@ -230,6 +255,11 @@ func (d Decision) String() string {
 	if d.OldTB != d.NewTB {
 		return fmt.Sprintf("epoch %d: engine time base: %s -> %s (%s)",
 			d.Epoch, d.OldTB, d.NewTB, d.Reason)
+	}
+	if d.Name == "engine" {
+		// Engine-level decision with no config change to print (e.g. the
+		// horizon-stall step): the reason is the whole story.
+		return fmt.Sprintf("epoch %d: engine: %s", d.Epoch, d.Reason)
 	}
 	return fmt.Sprintf("epoch %d: partition %d (%s): %s -> %s (%s)",
 		d.Epoch, d.Part, d.Name, d.Old, d.New, d.Reason)
@@ -317,6 +347,11 @@ type Tuner struct {
 	prevCross   uint64
 	prevCrossOK bool // prevCross was read while partition-local
 
+	// Horizon-stall state (engine-level, heuristic 7): the streak only
+	// advances while the same minimum stamp keeps pinning the horizon.
+	hzStreak    int
+	hzLastStamp uint64
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	doneCh   chan struct{}
@@ -344,6 +379,9 @@ func New(eng *core.Engine, cfg Config) *Tuner {
 	}
 	if cfg.MaxSpinBudget <= 0 {
 		cfg.MaxSpinBudget = 4096
+	}
+	if cfg.ToHorizonStallLag == 0 {
+		cfg.ToHorizonStallLag = 1024
 	}
 	return &Tuner{
 		eng:    eng,
@@ -461,6 +499,11 @@ func (t *Tuner) Tick() []Decision {
 			applied = append(applied, d)
 		}
 	}
+	if t.cfg.AdaptHorizon {
+		if d, ok := t.horizonStep(); ok {
+			applied = append(applied, d)
+		}
+	}
 	t.trace = append(t.trace, applied...)
 	return applied
 }
@@ -547,6 +590,51 @@ func (t *Tuner) timeBaseStep(total *core.PartStats, nparts int) (Decision, bool)
 		}
 	}
 	return Decision{}, false
+}
+
+// horizonStep applies heuristic (7): detect a stalled reclamation horizon
+// — the same long-lived reader pinning the global minimum begin stamp
+// across consecutive epochs while retired words sit in limbo — and, with
+// HorizonKill set, kill that transaction so reclamation can proceed.
+// Engine-level, like the time-base step: there is one horizon. The reason
+// string reports the worst snapshot-store HorizonShortfall across
+// partitions: 0 means the stalled reader's snapshot was still servable
+// (retention growth could have helped); positive means the reader had
+// outlived every retained version and unpinning was the only cure.
+func (t *Tuner) horizonStep() (Decision, bool) {
+	rs := t.eng.ReclaimStats()
+	stamp := rs.Horizon
+	stalled := stamp != core.HorizonIdle &&
+		rs.HorizonLag >= t.cfg.ToHorizonStallLag &&
+		rs.LimboWords > 0 &&
+		stamp == t.hzLastStamp
+	t.hzLastStamp = stamp
+	if !stalled {
+		t.hzStreak = 0
+		return Decision{}, false
+	}
+	t.hzStreak++
+	if t.hzStreak < t.cfg.Hysteresis {
+		return Decision{}, false
+	}
+	t.hzStreak = 0
+	var shortfall uint64
+	for _, p := range t.eng.Partitions() {
+		if s := t.eng.SnapshotHistory(p.ID()).HorizonShortfall(stamp); s > shortfall {
+			shortfall = s
+		}
+	}
+	action := "flagged"
+	if t.cfg.HorizonKill {
+		if _, ok := t.eng.KillHorizonPinner(); ok {
+			action = "killed pinning transaction"
+		}
+	}
+	return Decision{
+		Epoch: t.epoch, Name: "engine",
+		Reason: fmt.Sprintf("horizon stall: stamp %d lagging ceiling by %d ticks, %d words in limbo, snapshot shortfall %d: %s",
+			stamp, rs.HorizonLag, rs.LimboWords, shortfall, action),
+	}, true
 }
 
 // visibilityStep applies heuristic (1); returns the decision if one fired.

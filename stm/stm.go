@@ -185,6 +185,9 @@ type (
 	TxOpt = core.TxOpt
 	// PoolStats is a momentary reading of the Runtime.Run slot pool.
 	PoolStats = core.PoolStats
+	// ReclaimStats is a momentary reading of epoch-based memory
+	// reclamation: horizon, lag, and retired/reclaimed word totals.
+	ReclaimStats = core.ReclaimStats
 )
 
 // ErrMaxAttempts is returned by Thread.Run when a MaxAttempts budget is
@@ -583,3 +586,28 @@ func (r *Runtime) Engine() *core.Engine { return r.eng }
 
 // HeapInUseBlocks reports how many heap blocks have been handed out.
 func (r *Runtime) HeapInUseBlocks() uint64 { return r.arena.BlocksInUse() }
+
+// HorizonIdle is the Horizon reading when no transaction is live anywhere:
+// everything retired is immediately reclaimable.
+const HorizonIdle = core.HorizonIdle
+
+// Horizon returns the global reclamation horizon: the minimum begin stamp
+// over all live transactions, or HorizonIdle when none is running. Words
+// freed by Tx.Free (and by Ref.Free) sit in limbo until the horizon passes
+// the freeing commit's stamp; see ReclaimStats for the running totals.
+func (r *Runtime) Horizon() uint64 { return r.eng.Horizon() }
+
+// ReclaimStats returns a momentary reading of epoch-based reclamation:
+// the horizon, its lag behind the commit clock, and the cumulative
+// retired/reclaimed word counts (LimboWords is their difference). A
+// HorizonLag that keeps growing while LimboWords is non-zero is a horizon
+// stall — one parked long-running transaction gating all reclamation
+// (see TunerConfig.AdaptHorizon for the automatic mitigation).
+func (r *Runtime) ReclaimStats() ReclaimStats { return r.eng.ReclaimStats() }
+
+// Reclaim sweeps the horizon once and drains every idle pooled thread's
+// limbo (plus the shared overflow) against it, returning the words
+// recycled. Commit paths reclaim incrementally on their own; this is the
+// quiesce/maintenance entry point — call it after a churn phase or from a
+// housekeeping loop. Must not be called from inside a transaction.
+func (r *Runtime) Reclaim() uint64 { return r.eng.ReclaimNow() }

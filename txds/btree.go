@@ -1,6 +1,10 @@
 package txds
 
-import "repro/stm"
+import (
+	"unsafe"
+
+	"repro/stm"
+)
 
 // BTree is a transactional B-tree of minimum degree BTreeDegree (CLRS
 // formulation: every node except the root holds between t-1 and 2t-1
@@ -10,6 +14,16 @@ import "repro/stm"
 // nodes, so its write sets are larger. That asymmetry gives it a
 // different per-partition profile than RBTree on the same key stream,
 // which is precisely the heterogeneity the partitioned STM exploits.
+//
+// Nodes are typed objects (stm.Ref[btNode]): each visited node is read
+// with one multi-word load and each mutated node published with one
+// multi-word store, so a node costs one footprint touch — and one
+// read-set entry per ownership record — instead of one per word, and a
+// whole-node store lands in the snapshot history as one contiguous group
+// that snapshot readers reconstruct with a single index probe. Nodes
+// unlinked by merges (and the shrunk empty root) are freed through the
+// commit-time retire path, so their memory recycles once the reclamation
+// horizon passes the deleting commit.
 type BTree struct {
 	rootCell stm.Addr // one word: pointer to the root node
 	nodeSite stm.SiteID
@@ -22,7 +36,7 @@ const (
 	btMaxKeys = 2*BTreeDegree - 1
 	btMinKeys = BTreeDegree - 1
 
-	// Node layout (words):
+	// Node layout (words), mirrored by btNode's field order:
 	//   [0]            leaf flag (1 = leaf)
 	//   [1]            key count n
 	//   [2 .. 2+M)     keys[0..n)
@@ -36,6 +50,37 @@ const (
 	btNodeSize = btKids + btMaxKeys + 1
 )
 
+// btNode is the heap layout of one node. Field order mirrors the word
+// offsets above; the consts remain the coin for WordAddr arithmetic on
+// profiled link stores.
+type btNode struct {
+	Leaf uint64
+	N    uint64
+	Keys [btMaxKeys]uint64
+	Vals [btMaxKeys]uint64
+	Kids [btMaxKeys + 1]stm.Addr
+}
+
+// Both subtractions underflow (a compile error) unless the struct is
+// exactly btNodeSize words.
+const (
+	_ = btNodeSize*8 - unsafe.Sizeof(btNode{})
+	_ = unsafe.Sizeof(btNode{}) - btNodeSize*8
+)
+
+func btLoad(tx *stm.Tx, a stm.Addr) btNode      { return stm.RefAt[btNode](a).Load(tx) }
+func btStore(tx *stm.Tx, a stm.Addr, n *btNode) { stm.RefAt[btNode](a).Store(tx, *n) }
+func btKidAddr(a stm.Addr, i int) stm.Addr      { return stm.RefAt[btNode](a).WordAddr(btKids + i) }
+
+// find returns the first key index i with k <= Keys[i] (or N).
+func (n *btNode) find(k uint64) int {
+	i := 0
+	for i < int(n.N) && k > n.Keys[i] {
+		i++
+	}
+	return i
+}
+
 // NewBTree creates an empty tree with sites "<name>.root" and
 // "<name>.node".
 func NewBTree(tx *stm.Tx, rt *stm.Runtime, name string) *BTree {
@@ -44,55 +89,33 @@ func NewBTree(tx *stm.Tx, rt *stm.Runtime, name string) *BTree {
 	rootCell := tx.Alloc(rootSite, 1)
 	t := &BTree{rootCell: rootCell, nodeSite: nodeSite}
 	root := t.newNode(tx, true)
-	tx.StoreAddr(rootCell, root)
+	tx.StoreAddr(rootCell, root.Addr())
 	return t
 }
 
-func (t *BTree) newNode(tx *stm.Tx, leaf bool) stm.Addr {
-	n := tx.Alloc(t.nodeSite, btNodeSize)
-	v := uint64(0)
+func (t *BTree) newNode(tx *stm.Tx, leaf bool) stm.Ref[btNode] {
+	r := stm.AllocRef[btNode](tx, t.nodeSite)
+	var n btNode
 	if leaf {
-		v = 1
+		n.Leaf = 1
 	}
-	tx.Store(n+btLeaf, v)
-	tx.Store(n+btN, 0)
-	return n
-}
-
-func (t *BTree) isLeaf(tx *stm.Tx, n stm.Addr) bool { return tx.Load(n+btLeaf) == 1 }
-func (t *BTree) count(tx *stm.Tx, n stm.Addr) int   { return int(tx.Load(n + btN)) }
-func (t *BTree) setCount(tx *stm.Tx, n stm.Addr, c int) {
-	tx.Store(n+btN, uint64(c))
-}
-func (t *BTree) key(tx *stm.Tx, n stm.Addr, i int) uint64 { return tx.Load(n + btKeys + stm.Addr(i)) }
-func (t *BTree) val(tx *stm.Tx, n stm.Addr, i int) uint64 { return tx.Load(n + btVals + stm.Addr(i)) }
-func (t *BTree) setKV(tx *stm.Tx, n stm.Addr, i int, k, v uint64) {
-	tx.Store(n+btKeys+stm.Addr(i), k)
-	tx.Store(n+btVals+stm.Addr(i), v)
-}
-func (t *BTree) kid(tx *stm.Tx, n stm.Addr, i int) stm.Addr {
-	return tx.LoadAddr(n + btKids + stm.Addr(i))
-}
-func (t *BTree) setKid(tx *stm.Tx, n stm.Addr, i int, c stm.Addr) {
-	tx.StoreAddr(n+btKids+stm.Addr(i), c)
+	r.Store(tx, n)
+	return r
 }
 
 // Lookup returns the value stored under k.
 func (t *BTree) Lookup(tx *stm.Tx, k uint64) (uint64, bool) {
-	n := tx.LoadAddr(t.rootCell)
+	a := tx.LoadAddr(t.rootCell)
 	for {
-		cnt := t.count(tx, n)
-		i := 0
-		for i < cnt && k > t.key(tx, n, i) {
-			i++
+		n := btLoad(tx, a)
+		i := n.find(k)
+		if i < int(n.N) && n.Keys[i] == k {
+			return n.Vals[i], true
 		}
-		if i < cnt && k == t.key(tx, n, i) {
-			return t.val(tx, n, i), true
-		}
-		if t.isLeaf(tx, n) {
+		if n.Leaf == 1 {
 			return 0, false
 		}
-		n = t.kid(tx, n, i)
+		a = n.Kids[i]
 	}
 }
 
@@ -104,33 +127,39 @@ func (t *BTree) Contains(tx *stm.Tx, k uint64) bool {
 
 // splitChild splits parent's full child at index i (single-pass insert
 // invariant: the parent is known non-full).
-func (t *BTree) splitChild(tx *stm.Tx, parent stm.Addr, i int) {
-	child := t.kid(tx, parent, i)
-	right := t.newNode(tx, t.isLeaf(tx, child))
-	// Move the upper t-1 keys of child into right.
-	for j := 0; j < btMinKeys; j++ {
-		t.setKV(tx, right, j,
-			t.key(tx, child, j+BTreeDegree), t.val(tx, child, j+BTreeDegree))
+func (t *BTree) splitChild(tx *stm.Tx, parentA stm.Addr, i int) {
+	p := btLoad(tx, parentA)
+	childA := p.Kids[i]
+	c := btLoad(tx, childA)
+	// Build the new right node locally, then publish it with one store.
+	rightRef := stm.AllocRef[btNode](tx, t.nodeSite)
+	var r btNode
+	r.Leaf = c.Leaf
+	r.N = btMinKeys
+	copy(r.Keys[:btMinKeys], c.Keys[BTreeDegree:])
+	copy(r.Vals[:btMinKeys], c.Vals[BTreeDegree:])
+	if c.Leaf == 0 {
+		copy(r.Kids[:BTreeDegree], c.Kids[BTreeDegree:2*BTreeDegree])
 	}
-	if !t.isLeaf(tx, child) {
-		for j := 0; j < BTreeDegree; j++ {
-			t.setKid(tx, right, j, t.kid(tx, child, j+BTreeDegree))
-		}
-	}
-	t.setCount(tx, right, btMinKeys)
-	midK, midV := t.key(tx, child, btMinKeys), t.val(tx, child, btMinKeys)
-	t.setCount(tx, child, btMinKeys)
+	midK, midV := c.Keys[btMinKeys], c.Vals[btMinKeys]
+	c.N = btMinKeys
 	// Shift the parent's keys/children right of i and hoist the median.
-	pc := t.count(tx, parent)
+	pc := int(p.N)
 	for j := pc; j > i; j-- {
-		t.setKV(tx, parent, j, t.key(tx, parent, j-1), t.val(tx, parent, j-1))
+		p.Keys[j], p.Vals[j] = p.Keys[j-1], p.Vals[j-1]
 	}
 	for j := pc + 1; j > i+1; j-- {
-		t.setKid(tx, parent, j, t.kid(tx, parent, j-1))
+		p.Kids[j] = p.Kids[j-1]
 	}
-	t.setKV(tx, parent, i, midK, midV)
-	t.setKid(tx, parent, i+1, right)
-	t.setCount(tx, parent, pc+1)
+	p.Keys[i], p.Vals[i] = midK, midV
+	p.Kids[i+1] = rightRef.Addr()
+	p.N = uint64(pc + 1)
+	rightRef.Store(tx, r)
+	btStore(tx, childA, &c)
+	btStore(tx, parentA, &p)
+	// Re-store the new parent→right link through StoreAddr so profiling
+	// runs see the edge.
+	tx.StoreAddr(btKidAddr(parentA, i+1), rightRef.Addr())
 }
 
 // Insert adds k→v if absent; reports whether it inserted.
@@ -138,15 +167,18 @@ func (t *BTree) Insert(tx *stm.Tx, k, v uint64) bool {
 	if t.Contains(tx, k) {
 		return false
 	}
-	root := tx.LoadAddr(t.rootCell)
-	if t.count(tx, root) == btMaxKeys {
-		newRoot := t.newNode(tx, false)
-		t.setKid(tx, newRoot, 0, root)
-		tx.StoreAddr(t.rootCell, newRoot)
-		t.splitChild(tx, newRoot, 0)
-		root = newRoot
+	rootA := tx.LoadAddr(t.rootCell)
+	if btLoad(tx, rootA).N == btMaxKeys {
+		nrRef := stm.AllocRef[btNode](tx, t.nodeSite)
+		var nr btNode
+		nr.Kids[0] = rootA
+		nrRef.Store(tx, nr)
+		tx.StoreAddr(btKidAddr(nrRef.Addr(), 0), rootA)
+		tx.StoreAddr(t.rootCell, nrRef.Addr())
+		t.splitChild(tx, nrRef.Addr(), 0)
+		rootA = nrRef.Addr()
 	}
-	t.insertNonFull(tx, root, k, v)
+	t.insertNonFull(tx, rootA, k, v)
 	return true
 }
 
@@ -160,48 +192,49 @@ func (t *BTree) Set(tx *stm.Tx, k, v uint64) bool {
 
 // update overwrites an existing key in place.
 func (t *BTree) update(tx *stm.Tx, k, v uint64) bool {
-	n := tx.LoadAddr(t.rootCell)
+	a := tx.LoadAddr(t.rootCell)
 	for {
-		cnt := t.count(tx, n)
-		i := 0
-		for i < cnt && k > t.key(tx, n, i) {
-			i++
-		}
-		if i < cnt && k == t.key(tx, n, i) {
-			tx.Store(n+btVals+stm.Addr(i), v)
+		n := btLoad(tx, a)
+		i := n.find(k)
+		if i < int(n.N) && n.Keys[i] == k {
+			n.Vals[i] = v
+			btStore(tx, a, &n)
 			return true
 		}
-		if t.isLeaf(tx, n) {
+		if n.Leaf == 1 {
 			return false
 		}
-		n = t.kid(tx, n, i)
+		a = n.Kids[i]
 	}
 }
 
-func (t *BTree) insertNonFull(tx *stm.Tx, n stm.Addr, k, v uint64) {
+func (t *BTree) insertNonFull(tx *stm.Tx, a stm.Addr, k, v uint64) {
 	for {
-		cnt := t.count(tx, n)
-		if t.isLeaf(tx, n) {
+		n := btLoad(tx, a)
+		cnt := int(n.N)
+		if n.Leaf == 1 {
 			i := cnt
-			for i > 0 && k < t.key(tx, n, i-1) {
-				t.setKV(tx, n, i, t.key(tx, n, i-1), t.val(tx, n, i-1))
+			for i > 0 && k < n.Keys[i-1] {
+				n.Keys[i], n.Vals[i] = n.Keys[i-1], n.Vals[i-1]
 				i--
 			}
-			t.setKV(tx, n, i, k, v)
-			t.setCount(tx, n, cnt+1)
+			n.Keys[i], n.Vals[i] = k, v
+			n.N = uint64(cnt + 1)
+			btStore(tx, a, &n)
 			return
 		}
 		i := cnt
-		for i > 0 && k < t.key(tx, n, i-1) {
+		for i > 0 && k < n.Keys[i-1] {
 			i--
 		}
-		if t.count(tx, t.kid(tx, n, i)) == btMaxKeys {
-			t.splitChild(tx, n, i)
-			if k > t.key(tx, n, i) {
+		if btLoad(tx, n.Kids[i]).N == btMaxKeys {
+			t.splitChild(tx, a, i)
+			n = btLoad(tx, a) // the split rewrote this node
+			if k > n.Keys[i] {
 				i++
 			}
 		}
-		n = t.kid(tx, n, i)
+		a = n.Kids[i]
 	}
 }
 
@@ -214,172 +247,195 @@ func (t *BTree) Remove(tx *stm.Tx, k uint64) (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
-	root := tx.LoadAddr(t.rootCell)
-	t.remove(tx, root, k)
-	// Shrink an empty internal root.
-	if t.count(tx, root) == 0 && !t.isLeaf(tx, root) {
-		tx.StoreAddr(t.rootCell, t.kid(tx, root, 0))
-		tx.Free(root, btNodeSize)
+	rootA := tx.LoadAddr(t.rootCell)
+	t.remove(tx, rootA, k)
+	// Shrink an empty internal root, retiring the old node.
+	if root := btLoad(tx, rootA); root.N == 0 && root.Leaf == 0 {
+		tx.StoreAddr(t.rootCell, root.Kids[0])
+		stm.RefAt[btNode](rootA).Free(tx)
 	}
 	return v, true
 }
 
-func (t *BTree) remove(tx *stm.Tx, n stm.Addr, k uint64) {
-	cnt := t.count(tx, n)
-	i := 0
-	for i < cnt && k > t.key(tx, n, i) {
-		i++
-	}
-	if t.isLeaf(tx, n) {
-		if i < cnt && t.key(tx, n, i) == k {
-			for j := i; j < cnt-1; j++ {
-				t.setKV(tx, n, j, t.key(tx, n, j+1), t.val(tx, n, j+1))
-			}
-			t.setCount(tx, n, cnt-1)
+func (t *BTree) remove(tx *stm.Tx, a stm.Addr, k uint64) {
+	n := btLoad(tx, a)
+	cnt := int(n.N)
+	i := n.find(k)
+	if n.Leaf == 1 {
+		if i < cnt && n.Keys[i] == k {
+			copy(n.Keys[i:cnt-1], n.Keys[i+1:cnt])
+			copy(n.Vals[i:cnt-1], n.Vals[i+1:cnt])
+			n.N = uint64(cnt - 1)
+			btStore(tx, a, &n)
 		}
 		return
 	}
-	if i < cnt && t.key(tx, n, i) == k {
-		t.removeFromInternal(tx, n, i, k)
+	if i < cnt && n.Keys[i] == k {
+		t.removeFromInternal(tx, a, i, k)
 		return
 	}
 	// Descend into child i, fattening it first if minimal.
-	child := t.kid(tx, n, i)
-	if t.count(tx, child) == btMinKeys {
-		i = t.fatten(tx, n, i)
+	childA := n.Kids[i]
+	if btLoad(tx, childA).N == btMinKeys {
+		i = t.fatten(tx, a, i)
 		// Fattening may have merged the target key into a different child.
-		cnt = t.count(tx, n)
-		for i < cnt && k > t.key(tx, n, i) {
+		n = btLoad(tx, a)
+		cnt = int(n.N)
+		for i < cnt && k > n.Keys[i] {
 			i++
 		}
-		if i < cnt && t.key(tx, n, i) == k {
-			t.removeFromInternal(tx, n, i, k)
+		if i < cnt && n.Keys[i] == k {
+			t.removeFromInternal(tx, a, i, k)
 			return
 		}
-		child = t.kid(tx, n, i)
+		childA = n.Kids[i]
 	}
-	t.remove(tx, child, k)
+	t.remove(tx, childA, k)
 }
 
 // removeFromInternal deletes key index i of internal node n (CLRS cases
 // 2a/2b/2c).
-func (t *BTree) removeFromInternal(tx *stm.Tx, n stm.Addr, i int, k uint64) {
-	left := t.kid(tx, n, i)
-	right := t.kid(tx, n, i+1)
+func (t *BTree) removeFromInternal(tx *stm.Tx, a stm.Addr, i int, k uint64) {
+	n := btLoad(tx, a)
+	left, right := n.Kids[i], n.Kids[i+1]
 	switch {
-	case t.count(tx, left) > btMinKeys:
+	case btLoad(tx, left).N > btMinKeys:
 		// Replace with predecessor, then delete the predecessor below.
 		pk, pv := t.maxKV(tx, left)
-		t.setKV(tx, n, i, pk, pv)
+		n.Keys[i], n.Vals[i] = pk, pv
+		btStore(tx, a, &n)
 		t.remove(tx, left, pk)
-	case t.count(tx, right) > btMinKeys:
+	case btLoad(tx, right).N > btMinKeys:
 		sk, sv := t.minKV(tx, right)
-		t.setKV(tx, n, i, sk, sv)
+		n.Keys[i], n.Vals[i] = sk, sv
+		btStore(tx, a, &n)
 		t.remove(tx, right, sk)
 	default:
-		t.mergeChildren(tx, n, i)
+		t.mergeChildren(tx, a, i)
 		t.remove(tx, left, k)
 	}
 }
 
-func (t *BTree) maxKV(tx *stm.Tx, n stm.Addr) (uint64, uint64) {
-	for !t.isLeaf(tx, n) {
-		n = t.kid(tx, n, t.count(tx, n))
+func (t *BTree) maxKV(tx *stm.Tx, a stm.Addr) (uint64, uint64) {
+	for {
+		n := btLoad(tx, a)
+		if n.Leaf == 1 {
+			return n.Keys[n.N-1], n.Vals[n.N-1]
+		}
+		a = n.Kids[n.N]
 	}
-	c := t.count(tx, n)
-	return t.key(tx, n, c-1), t.val(tx, n, c-1)
 }
 
-func (t *BTree) minKV(tx *stm.Tx, n stm.Addr) (uint64, uint64) {
-	for !t.isLeaf(tx, n) {
-		n = t.kid(tx, n, 0)
+func (t *BTree) minKV(tx *stm.Tx, a stm.Addr) (uint64, uint64) {
+	for {
+		n := btLoad(tx, a)
+		if n.Leaf == 1 {
+			return n.Keys[0], n.Vals[0]
+		}
+		a = n.Kids[0]
 	}
-	return t.key(tx, n, 0), t.val(tx, n, 0)
 }
 
 // fatten guarantees child i of n has more than btMinKeys keys, borrowing
 // from a sibling or merging; it returns the (possibly shifted) child
 // index to descend into.
-func (t *BTree) fatten(tx *stm.Tx, n stm.Addr, i int) int {
-	cnt := t.count(tx, n)
-	child := t.kid(tx, n, i)
-	if i > 0 && t.count(tx, t.kid(tx, n, i-1)) > btMinKeys {
-		// Borrow from the left sibling through the separator.
-		left := t.kid(tx, n, i-1)
-		lc := t.count(tx, left)
-		cc := t.count(tx, child)
-		for j := cc; j > 0; j-- {
-			t.setKV(tx, child, j, t.key(tx, child, j-1), t.val(tx, child, j-1))
-		}
-		if !t.isLeaf(tx, child) {
-			for j := cc + 1; j > 0; j-- {
-				t.setKid(tx, child, j, t.kid(tx, child, j-1))
+func (t *BTree) fatten(tx *stm.Tx, a stm.Addr, i int) int {
+	n := btLoad(tx, a)
+	cnt := int(n.N)
+	childA := n.Kids[i]
+	if i > 0 {
+		leftA := n.Kids[i-1]
+		if l := btLoad(tx, leftA); int(l.N) > btMinKeys {
+			// Borrow from the left sibling through the separator.
+			c := btLoad(tx, childA)
+			lc, cc := int(l.N), int(c.N)
+			for j := cc; j > 0; j-- {
+				c.Keys[j], c.Vals[j] = c.Keys[j-1], c.Vals[j-1]
 			}
-			t.setKid(tx, child, 0, t.kid(tx, left, lc))
+			if c.Leaf == 0 {
+				for j := cc + 1; j > 0; j-- {
+					c.Kids[j] = c.Kids[j-1]
+				}
+				c.Kids[0] = l.Kids[lc]
+			}
+			c.Keys[0], c.Vals[0] = n.Keys[i-1], n.Vals[i-1]
+			c.N = uint64(cc + 1)
+			n.Keys[i-1], n.Vals[i-1] = l.Keys[lc-1], l.Vals[lc-1]
+			l.N = uint64(lc - 1)
+			btStore(tx, childA, &c)
+			btStore(tx, leftA, &l)
+			btStore(tx, a, &n)
+			if c.Leaf == 0 {
+				tx.StoreAddr(btKidAddr(childA, 0), c.Kids[0])
+			}
+			return i
 		}
-		t.setKV(tx, child, 0, t.key(tx, n, i-1), t.val(tx, n, i-1))
-		t.setCount(tx, child, cc+1)
-		t.setKV(tx, n, i-1, t.key(tx, left, lc-1), t.val(tx, left, lc-1))
-		t.setCount(tx, left, lc-1)
-		return i
 	}
-	if i < cnt && t.count(tx, t.kid(tx, n, i+1)) > btMinKeys {
-		// Borrow from the right sibling.
-		right := t.kid(tx, n, i+1)
-		rc := t.count(tx, right)
-		cc := t.count(tx, child)
-		t.setKV(tx, child, cc, t.key(tx, n, i), t.val(tx, n, i))
-		if !t.isLeaf(tx, child) {
-			t.setKid(tx, child, cc+1, t.kid(tx, right, 0))
-		}
-		t.setCount(tx, child, cc+1)
-		t.setKV(tx, n, i, t.key(tx, right, 0), t.val(tx, right, 0))
-		for j := 0; j < rc-1; j++ {
-			t.setKV(tx, right, j, t.key(tx, right, j+1), t.val(tx, right, j+1))
-		}
-		if !t.isLeaf(tx, right) {
-			for j := 0; j < rc; j++ {
-				t.setKid(tx, right, j, t.kid(tx, right, j+1))
+	if i < cnt {
+		rightA := n.Kids[i+1]
+		if r := btLoad(tx, rightA); int(r.N) > btMinKeys {
+			// Borrow from the right sibling.
+			c := btLoad(tx, childA)
+			rc, cc := int(r.N), int(c.N)
+			c.Keys[cc], c.Vals[cc] = n.Keys[i], n.Vals[i]
+			if c.Leaf == 0 {
+				c.Kids[cc+1] = r.Kids[0]
 			}
+			c.N = uint64(cc + 1)
+			n.Keys[i], n.Vals[i] = r.Keys[0], r.Vals[0]
+			copy(r.Keys[:rc-1], r.Keys[1:rc])
+			copy(r.Vals[:rc-1], r.Vals[1:rc])
+			if r.Leaf == 0 {
+				copy(r.Kids[:rc], r.Kids[1:rc+1])
+			}
+			r.N = uint64(rc - 1)
+			btStore(tx, childA, &c)
+			btStore(tx, rightA, &r)
+			btStore(tx, a, &n)
+			if c.Leaf == 0 {
+				tx.StoreAddr(btKidAddr(childA, cc+1), c.Kids[cc+1])
+			}
+			return i
 		}
-		t.setCount(tx, right, rc-1)
-		return i
 	}
 	// Merge with a sibling.
 	if i == cnt {
 		i--
 	}
-	t.mergeChildren(tx, n, i)
+	t.mergeChildren(tx, a, i)
 	return i
 }
 
 // mergeChildren merges child i+1 and separator i into child i and frees
-// the right node.
-func (t *BTree) mergeChildren(tx *stm.Tx, n stm.Addr, i int) {
-	left := t.kid(tx, n, i)
-	right := t.kid(tx, n, i+1)
-	lc := t.count(tx, left)
-	rc := t.count(tx, right)
-	t.setKV(tx, left, lc, t.key(tx, n, i), t.val(tx, n, i))
-	for j := 0; j < rc; j++ {
-		t.setKV(tx, left, lc+1+j, t.key(tx, right, j), t.val(tx, right, j))
+// the right node through the commit-time retire path.
+func (t *BTree) mergeChildren(tx *stm.Tx, a stm.Addr, i int) {
+	n := btLoad(tx, a)
+	leftA, rightA := n.Kids[i], n.Kids[i+1]
+	l := btLoad(tx, leftA)
+	r := btLoad(tx, rightA)
+	lc, rc := int(l.N), int(r.N)
+	l.Keys[lc], l.Vals[lc] = n.Keys[i], n.Vals[i]
+	copy(l.Keys[lc+1:lc+1+rc], r.Keys[:rc])
+	copy(l.Vals[lc+1:lc+1+rc], r.Vals[:rc])
+	if l.Leaf == 0 {
+		copy(l.Kids[lc+1:lc+2+rc], r.Kids[:rc+1])
 	}
-	if !t.isLeaf(tx, left) {
+	l.N = uint64(lc + 1 + rc)
+	// Close the gap in the parent.
+	pc := int(n.N)
+	copy(n.Keys[i:pc-1], n.Keys[i+1:pc])
+	copy(n.Vals[i:pc-1], n.Vals[i+1:pc])
+	copy(n.Kids[i+1:pc], n.Kids[i+2:pc+1])
+	n.N = uint64(pc - 1)
+	btStore(tx, leftA, &l)
+	btStore(tx, a, &n)
+	if l.Leaf == 0 {
+		// Adopted left→grandchild edges, re-stored for profiling.
 		for j := 0; j <= rc; j++ {
-			t.setKid(tx, left, lc+1+j, t.kid(tx, right, j))
+			tx.StoreAddr(btKidAddr(leftA, lc+1+j), l.Kids[lc+1+j])
 		}
 	}
-	t.setCount(tx, left, lc+1+rc)
-	// Close the gap in the parent.
-	pc := t.count(tx, n)
-	for j := i; j < pc-1; j++ {
-		t.setKV(tx, n, j, t.key(tx, n, j+1), t.val(tx, n, j+1))
-	}
-	for j := i + 1; j < pc; j++ {
-		t.setKid(tx, n, j, t.kid(tx, n, j+1))
-	}
-	t.setCount(tx, n, pc-1)
-	tx.Free(right, btNodeSize)
+	stm.RefAt[btNode](rightA).Free(tx)
 }
 
 // Len counts stored keys.
@@ -387,12 +443,12 @@ func (t *BTree) Len(tx *stm.Tx) int {
 	return t.lenRec(tx, tx.LoadAddr(t.rootCell))
 }
 
-func (t *BTree) lenRec(tx *stm.Tx, n stm.Addr) int {
-	cnt := t.count(tx, n)
-	total := cnt
-	if !t.isLeaf(tx, n) {
-		for i := 0; i <= cnt; i++ {
-			total += t.lenRec(tx, t.kid(tx, n, i))
+func (t *BTree) lenRec(tx *stm.Tx, a stm.Addr) int {
+	n := btLoad(tx, a)
+	total := int(n.N)
+	if n.Leaf == 0 {
+		for i := 0; i <= int(n.N); i++ {
+			total += t.lenRec(tx, n.Kids[i])
 		}
 	}
 	return total
@@ -405,17 +461,17 @@ func (t *BTree) Keys(tx *stm.Tx) []uint64 {
 	return out
 }
 
-func (t *BTree) walk(tx *stm.Tx, n stm.Addr, f func(k, v uint64)) {
-	cnt := t.count(tx, n)
-	leaf := t.isLeaf(tx, n)
+func (t *BTree) walk(tx *stm.Tx, a stm.Addr, f func(k, v uint64)) {
+	n := btLoad(tx, a)
+	cnt := int(n.N)
 	for i := 0; i < cnt; i++ {
-		if !leaf {
-			t.walk(tx, t.kid(tx, n, i), f)
+		if n.Leaf == 0 {
+			t.walk(tx, n.Kids[i], f)
 		}
-		f(t.key(tx, n, i), t.val(tx, n, i))
+		f(n.Keys[i], n.Vals[i])
 	}
-	if !leaf {
-		t.walk(tx, t.kid(tx, n, cnt), f)
+	if n.Leaf == 0 {
+		t.walk(tx, n.Kids[cnt], f)
 	}
 }
 
@@ -428,8 +484,9 @@ func (t *BTree) CheckInvariants(tx *stm.Tx) string {
 	return msg
 }
 
-func (t *BTree) checkRec(tx *stm.Tx, n stm.Addr, isRoot bool, hasLo bool, lo uint64, hasHi bool, hi uint64) (depth int, msg string) {
-	cnt := t.count(tx, n)
+func (t *BTree) checkRec(tx *stm.Tx, a stm.Addr, isRoot bool, hasLo bool, lo uint64, hasHi bool, hi uint64) (depth int, msg string) {
+	n := btLoad(tx, a)
+	cnt := int(n.N)
 	if cnt > btMaxKeys {
 		return 0, "btree: node overflow"
 	}
@@ -438,7 +495,7 @@ func (t *BTree) checkRec(tx *stm.Tx, n stm.Addr, isRoot bool, hasLo bool, lo uin
 	}
 	prevSet, prev := hasLo, lo
 	for i := 0; i < cnt; i++ {
-		k := t.key(tx, n, i)
+		k := n.Keys[i]
 		if prevSet && k <= prev {
 			return 0, "btree: keys not strictly ascending"
 		}
@@ -447,7 +504,7 @@ func (t *BTree) checkRec(tx *stm.Tx, n stm.Addr, isRoot bool, hasLo bool, lo uin
 		}
 		prevSet, prev = true, k
 	}
-	if t.isLeaf(tx, n) {
+	if n.Leaf == 1 {
 		return 1, ""
 	}
 	want := -1
@@ -455,12 +512,12 @@ func (t *BTree) checkRec(tx *stm.Tx, n stm.Addr, isRoot bool, hasLo bool, lo uin
 		cHasLo, clo := hasLo, lo
 		cHasHi, chi := hasHi, hi
 		if i > 0 {
-			cHasLo, clo = true, t.key(tx, n, i-1)
+			cHasLo, clo = true, n.Keys[i-1]
 		}
 		if i < cnt {
-			cHasHi, chi = true, t.key(tx, n, i)
+			cHasHi, chi = true, n.Keys[i]
 		}
-		d, m := t.checkRec(tx, t.kid(tx, n, i), false, cHasLo, clo, cHasHi, chi)
+		d, m := t.checkRec(tx, n.Kids[i], false, cHasLo, clo, cHasHi, chi)
 		if m != "" {
 			return 0, m
 		}

@@ -81,13 +81,14 @@ func (t *BTree) Range(tx *stm.Tx, lo, hi uint64, visit func(k, v uint64) bool) {
 	t.rangeRec(tx, tx.LoadAddr(t.rootCell), lo, hi, visit)
 }
 
-func (t *BTree) rangeRec(tx *stm.Tx, n stm.Addr, lo, hi uint64, visit func(k, v uint64) bool) bool {
-	cnt := t.count(tx, n)
-	leaf := t.isLeaf(tx, n)
+func (t *BTree) rangeRec(tx *stm.Tx, a stm.Addr, lo, hi uint64, visit func(k, v uint64) bool) bool {
+	n := btLoad(tx, a)
+	cnt := int(n.N)
+	leaf := n.Leaf == 1
 	for i := 0; i < cnt; i++ {
-		k := t.key(tx, n, i)
+		k := n.Keys[i]
 		if !leaf && k > lo {
-			if !t.rangeRec(tx, t.kid(tx, n, i), lo, hi, visit) {
+			if !t.rangeRec(tx, n.Kids[i], lo, hi, visit) {
 				return false
 			}
 		}
@@ -95,15 +96,14 @@ func (t *BTree) rangeRec(tx *stm.Tx, n stm.Addr, lo, hi uint64, visit func(k, v 
 			return false
 		}
 		if k >= lo {
-			if !visit(k, t.val(tx, n, i)) {
+			if !visit(k, n.Vals[i]) {
 				return false
 			}
 		}
 	}
 	if !leaf && cnt > 0 {
-		last := t.key(tx, n, cnt-1)
-		if last < hi {
-			return t.rangeRec(tx, t.kid(tx, n, cnt), lo, hi, visit)
+		if n.Keys[cnt-1] < hi {
+			return t.rangeRec(tx, n.Kids[cnt], lo, hi, visit)
 		}
 	}
 	return true
