@@ -659,6 +659,41 @@ func BenchmarkRangeScan(b *testing.B) {
 	})
 }
 
+// BenchmarkOpenLoopLatency is the tail-latency smoke guard: a contended
+// counter driven open-loop (fixed 50k/s arrival schedule, 4 workers), so
+// each op's latency counts from its scheduled due time and queueing
+// shows up in the tail. The primary ns/op figure just tracks the
+// arrival interval (constant by construction); the guarded figure is the
+// p99-ns/op secondary metric, which cmd/benchdiff diffs against the
+// checked-in baseline with its own regression threshold.
+func BenchmarkOpenLoopLatency(b *testing.B) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 16})
+	setup := rt.MustAttach()
+	var a stm.Addr
+	setup.Atomic(func(tx *stm.Tx) {
+		a = tx.Alloc(stm.SiteID(0), 1)
+		tx.Store(a, 0)
+	})
+	rt.Detach(setup)
+	const rate = 50000.0
+	measure := time.Duration(float64(b.N) / rate * float64(time.Second))
+	b.ResetTimer()
+	res := bench.RunOpenLoop(rt, bench.OpenLoopConfig{
+		Threads: 4,
+		Rate:    rate,
+		Warmup:  5 * time.Millisecond,
+		Measure: measure,
+		Seed:    11,
+	}, func(th *stm.Thread, rng *workload.Rng, _ uint64) {
+		th.Atomic(func(tx *stm.Tx) { tx.Store(a, tx.Load(a)+1) })
+	})
+	if res.Ops == 0 {
+		b.Fatal("no measured ops")
+	}
+	b.ReportMetric(float64(res.Latency.Quantile(0.99)), "p99-ns/op")
+	b.ReportMetric(res.Achieved, "ops/s")
+}
+
 // BenchmarkContendedCounter measures throughput of the maximal-contention
 // workload under the harness (8 goroutines, interleaving simulation).
 func BenchmarkContendedCounter(b *testing.B) {

@@ -7,9 +7,17 @@
 //
 //	benchdiff old.json new.json            # fail on >2x regressions
 //	benchdiff -threshold 1.5 old.json new.json
+//	benchdiff -metrics p99-ns/op -metric-threshold 2 old.json new.json
+//
+// Alongside the primary ns/op figure, named secondary metrics (the units
+// benchmarks emit via b.ReportMetric; default p99-ns/op) are diffed with
+// their own threshold — tail latency is noisier than the mean, so it gets
+// an independently tunable guard instead of silently sharing the primary
+// one. Only lower-is-better units may be named: values are parsed
+// best-of-N, which inverts for throughput-style metrics.
 //
 // Benchmarks present in only one artifact are ignored (bench sets drift
-// as the suite grows); only matched names are compared, by ns/op.
+// as the suite grows); only matched names are compared.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 )
@@ -29,38 +38,38 @@ type smokeArtifact struct {
 	Core      string `json:"core"`
 }
 
-func load(path string) (map[string]float64, *smokeArtifact, error) {
+func load(path string) (map[string]float64, string, *smokeArtifact, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, "", nil, err
 	}
 	var a smokeArtifact
 	if err := json.Unmarshal(data, &a); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, "", nil, fmt.Errorf("%s: %w", path, err)
 	}
-	m := bench.ParseGoBench(a.Root)
-	for k, v := range bench.ParseGoBench(a.Core) {
-		m[k] = v
-	}
+	text := a.Root + "\n" + a.Core
+	m := bench.ParseGoBench(text)
 	if len(m) == 0 {
-		return nil, nil, fmt.Errorf("%s: no benchmark lines found", path)
+		return nil, "", nil, fmt.Errorf("%s: no benchmark lines found", path)
 	}
-	return m, &a, nil
+	return m, text, &a, nil
 }
 
 func main() {
 	threshold := flag.Float64("threshold", 2.0, "fail when new/old ns/op exceeds this factor")
+	metricThreshold := flag.Float64("metric-threshold", 2.0, "fail when a named secondary metric exceeds this factor")
+	metrics := flag.String("metrics", "p99-ns/op", "comma-separated lower-is-better secondary metric units to diff ('' disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 2.0] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 2.0] [-metrics p99-ns/op] old.json new.json")
 		os.Exit(2)
 	}
-	oldM, oldA, err := load(flag.Arg(0))
+	oldM, oldText, oldA, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	newM, newA, err := load(flag.Arg(1))
+	newM, newText, newA, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -73,6 +82,27 @@ func main() {
 	}
 	out, breached := bench.FormatComparison(rows, *threshold)
 	fmt.Print(out)
+
+	var units []string
+	for _, u := range strings.Split(*metrics, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			units = append(units, u)
+		}
+	}
+	if len(units) > 0 {
+		oldU := bench.ParseGoBenchMetrics(oldText, units)
+		newU := bench.ParseGoBenchMetrics(newText, units)
+		for _, u := range units {
+			mrows := bench.CompareBench(oldU[u], newU[u], *metricThreshold)
+			if len(mrows) == 0 {
+				continue
+			}
+			fmt.Printf("\nsecondary metric %s (threshold %.1fx):\n", u, *metricThreshold)
+			mout, mbreached := bench.FormatComparison(mrows, *metricThreshold)
+			fmt.Print(mout)
+			breached = breached || mbreached
+		}
+	}
 	if breached {
 		os.Exit(1)
 	}

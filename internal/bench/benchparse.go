@@ -42,6 +42,48 @@ func ParseGoBench(text string) map[string]float64 {
 	return out
 }
 
+// ParseGoBenchMetrics extracts named secondary metrics — the units
+// benchmarks emit via b.ReportMetric, e.g. "p99-ns/op" — from `go test
+// -bench` output text. Returns unit -> benchmark name -> value, keeping
+// the MINIMUM per (name, unit) across -count=N repetitions, same
+// best-of-N estimator as ParseGoBench. Callers must therefore only name
+// lower-is-better units here: for a higher-is-better metric (reads/s)
+// the min keeps the WORST run and a diff against it is meaningless.
+func ParseGoBenchMetrics(text string, units []string) map[string]map[string]float64 {
+	want := make(map[string]bool, len(units))
+	for _, u := range units {
+		want[u] = true
+	}
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			unit := fields[i+1]
+			if !want[unit] {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m := out[unit]
+			if m == nil {
+				m = make(map[string]float64)
+				out[unit] = m
+			}
+			if prev, seen := m[fields[0]]; !seen || v < prev {
+				m[fields[0]] = v
+			}
+		}
+	}
+	return out
+}
+
 // Regression is one benchmark whose new ns/op exceeds the old by more
 // than the comparison threshold.
 type Regression struct {

@@ -32,6 +32,49 @@ func TestParseGoBench(t *testing.T) {
 	}
 }
 
+const sampleMetricBench = `goos: linux
+BenchmarkOpenLoopLatency 	    2000	     22520 ns/op	     50007 ops/s	      4351 p99-ns/op
+BenchmarkOpenLoopLatency 	    2000	     22511 ns/op	     50008 ops/s	      2431 p99-ns/op
+BenchmarkOther-8         	     100	       800 ns/op
+PASS
+`
+
+func TestParseGoBenchMetrics(t *testing.T) {
+	got := ParseGoBenchMetrics(sampleMetricBench, []string{"p99-ns/op"})
+	m := got["p99-ns/op"]
+	if len(m) != 1 {
+		t.Fatalf("parsed %d benchmarks with p99-ns/op, want 1: %v", len(m), m)
+	}
+	// -count=N repetitions keep the minimum, same as the primary metric.
+	if v := m["BenchmarkOpenLoopLatency"]; v != 2431 {
+		t.Fatalf("p99 = %v, want min-of-N 2431", v)
+	}
+	// Un-requested units are not extracted — reads/s-style higher-is-
+	// better figures must never fall into the lower-is-better diff.
+	if _, ok := got["ops/s"]; ok {
+		t.Fatal("extracted a unit that was not asked for")
+	}
+	if none := ParseGoBenchMetrics(sampleMetricBench, nil); len(none) != 0 {
+		t.Fatalf("no units requested but got %v", none)
+	}
+}
+
+func TestCompareBenchSecondaryMetric(t *testing.T) {
+	oldT := "BenchmarkA 	 2000	 100 ns/op	 1000 p99-ns/op\n"
+	newT := "BenchmarkA 	 2000	 101 ns/op	 3000 p99-ns/op\n"
+	oldM := ParseGoBenchMetrics(oldT, []string{"p99-ns/op"})["p99-ns/op"]
+	newM := ParseGoBenchMetrics(newT, []string{"p99-ns/op"})["p99-ns/op"]
+	rows := CompareBench(oldM, newM, 2.0)
+	if len(rows) != 1 || !rows[0].Breached || rows[0].Factor != 3.0 {
+		t.Fatalf("3x p99 regression not flagged: %+v", rows)
+	}
+	// The primary figure alone would have sailed through.
+	prim := CompareBench(ParseGoBench(oldT), ParseGoBench(newT), 2.0)
+	if len(prim) != 1 || prim[0].Breached {
+		t.Fatalf("primary ns/op should not breach: %+v", prim)
+	}
+}
+
 func TestCompareBenchFlagsRegressions(t *testing.T) {
 	old := map[string]float64{"A-8": 100, "B-8": 100, "OnlyOld-8": 50}
 	new := map[string]float64{"A-8": 150, "B-8": 250, "OnlyNew-8": 10}

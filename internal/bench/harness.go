@@ -2,6 +2,19 @@
 // a runtime for timed windows, snapshots per-partition statistics, and
 // assembles the tables and figures of the paper's evaluation (see
 // internal/experiments for the experiment definitions).
+//
+// Two load models are provided. Run is closed-loop: each worker issues
+// its next operation the moment the previous one returns, which measures
+// service time and peak throughput but lets a stalled system pause its
+// own load (coordinated omission). RunOpenLoop is open-loop: operations
+// arrive on a fixed schedule and latency counts from each arrival's due
+// time, so queueing delay — the part of client-visible latency a closed
+// loop cannot observe — lands in the measured tail. Use Run for
+// capacity questions, RunOpenLoop for latency questions. Both record
+// every measured operation into per-worker histogram shards
+// (internal/stats) merged after the run. ParseGoBench/CompareBench and
+// friends parse and diff `go test -bench` output for the CI trajectory
+// guard (cmd/benchdiff).
 package bench
 
 import (
@@ -22,8 +35,12 @@ type RunConfig struct {
 	Warmup  time.Duration
 	Measure time.Duration
 	Seed    uint64
-	// SampleLatency, when true, records one op latency in 64 into the
-	// result histogram.
+	// SampleLatency, when true, records every measured op's latency into
+	// the result histogram. Workers record into per-worker shards (one
+	// uncontended counter increment per op) merged after the run, so
+	// enabling it neither serializes workers nor biases the sample — the
+	// old 1-in-64 subsampling systematically missed rare slow ops, which
+	// is exactly the tail the histogram exists to expose.
 	SampleLatency bool
 }
 
@@ -61,20 +78,21 @@ func Run(rt *stm.Runtime, cfg RunConfig, op OpFunc) Result {
 		ops     atomic.Uint64
 		wg      sync.WaitGroup
 		hist    = &stats.Histogram{}
+		shards  = make([]stats.Histogram, cfg.Threads)
 	)
 	for w := 0; w < cfg.Threads; w++ {
 		wg.Add(1)
-		go func(seed uint64) {
+		go func(seed uint64, shard *stats.Histogram) {
 			defer wg.Done()
 			th := rt.MustAttach()
 			defer rt.Detach(th)
 			rng := workload.NewRng(seed)
 			local := uint64(0)
 			for !stop.Load() {
-				if cfg.SampleLatency && measure.Load() && local&63 == 0 {
+				if cfg.SampleLatency && measure.Load() {
 					t0 := time.Now()
 					op(th, rng)
-					hist.Record(uint64(time.Since(t0)))
+					shard.RecordSince(t0)
 				} else {
 					op(th, rng)
 				}
@@ -83,7 +101,7 @@ func Run(rt *stm.Runtime, cfg RunConfig, op OpFunc) Result {
 				}
 			}
 			ops.Add(local)
-		}(cfg.Seed*1000 + uint64(w) + 1)
+		}(cfg.Seed*1000+uint64(w)+1, &shards[w])
 	}
 
 	time.Sleep(cfg.Warmup)
@@ -96,6 +114,9 @@ func Run(rt *stm.Runtime, cfg RunConfig, op OpFunc) Result {
 	after := rt.Stats()
 	stop.Store(true)
 	wg.Wait()
+	for i := range shards {
+		hist.Merge(&shards[i])
+	}
 
 	res := Result{
 		Ops:     ops.Load(),

@@ -11,6 +11,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/memory"
 	"repro/internal/mvstore"
+	"repro/internal/stats"
 )
 
 // PointerRecorder receives pointer-store events during profiling runs. The
@@ -89,6 +90,13 @@ type Engine struct {
 	// outcome (commit or abort). One atomic pointer load per attempt when
 	// unset; see SetTracer.
 	tracer atomic.Pointer[txTracerBox]
+
+	// latency, when set, makes every attempt measure its duration and
+	// every committed attempt record it into the touched partitions'
+	// commit-latency histograms (PartThreadStats.Lat). Off by default: the
+	// cost when on is two clock reads per attempt plus one histogram
+	// increment per touched partition at commit.
+	latency atomic.Bool
 
 	// yieldMask, when nonzero, makes every transactional operation a
 	// potential scheduling point: a thread yields the processor with
@@ -520,6 +528,28 @@ func (e *Engine) SnapshotHistory(id PartID) mvstore.Stats {
 	return st.hist.Stats()
 }
 
+// SetLatencyTracking enables or disables per-attempt latency measurement:
+// when on, every committed attempt records its duration (attempt begin to
+// commit, retries excluded — each attempt is its own sample) into the
+// commit-latency histogram of every partition it touched. Safe to toggle
+// live; samples recorded while on remain in the histograms.
+func (e *Engine) SetLatencyTracking(on bool) { e.latency.Store(on) }
+
+// LatencyTracking reports whether per-attempt latency measurement is on.
+func (e *Engine) LatencyTracking() bool { return e.latency.Load() }
+
+// LatencySnapshot returns the engine-wide commit-latency histogram:
+// every partition's per-thread shards merged (live threads and the
+// retired aggregate). Empty unless SetLatencyTracking(true) has been
+// recording.
+func (e *Engine) LatencySnapshot() stats.HistSnapshot {
+	var out stats.HistSnapshot
+	for _, ps := range e.AllStats() {
+		out = out.Add(ps.Latency)
+	}
+	return out
+}
+
 // AllStats returns a snapshot for every partition.
 func (e *Engine) AllStats() []PartStats {
 	t := e.topo.Load()
@@ -587,6 +617,10 @@ func (e *Engine) run(th *Thread, cfg runCfg, fn func(*Tx) error) error {
 				Parks:          tx.parks,
 				RetiredWords:   tx.retiredWords,
 				ReclaimedWords: tx.reclaimedWords,
+				DurationNs:     tx.durationNs,
+				SpinNs:         tx.spinNs,
+				YieldNs:        tx.yieldNs,
+				ParkNs:         tx.parkNs,
 			})
 		}
 		switch {
@@ -664,6 +698,17 @@ type AttemptEvent struct {
 	// from limbo back to free lists when its commit-path reclaim ran.
 	RetiredWords   uint64
 	ReclaimedWords uint64
+	// DurationNs is the attempt's wall-clock duration, begin to outcome.
+	// Measured whenever a tracer is attached (and also when the engine's
+	// latency tracking is on); each attempt is its own sample, so a
+	// transaction that retries contributes one event per try.
+	DurationNs uint64
+	// SpinNs/YieldNs/ParkNs break the attempt's wait time down by stall
+	// phase (on-CPU spin, scheduler yield, timed park) — the time-domain
+	// companions of Yields/Parks; see the attribution note in wait.go.
+	SpinNs  uint64
+	YieldNs uint64
+	ParkNs  uint64
 }
 
 // TxTracer receives one event per transaction attempt. Implementations

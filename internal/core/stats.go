@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/clock"
+	"repro/internal/stats"
 )
 
 // PartThreadStats are one thread's counters for one partition. They are
@@ -32,6 +33,20 @@ type PartThreadStats struct {
 	// are subsets of WaitCycles.
 	Yields atomic.Uint64
 	Parks  atomic.Uint64
+	// SpinNs/YieldNs/ParkNs break wait time down by phase: nanoseconds
+	// spent in wait-loop iterations that stayed on-CPU (spin), yielded the
+	// processor, or slept (park) — the time-domain companions of
+	// WaitCycles/Yields/Parks (see the attribution note in wait.go).
+	SpinNs  atomic.Uint64
+	YieldNs atomic.Uint64
+	ParkNs  atomic.Uint64
+	// Lat is this thread's commit-latency histogram for the partition:
+	// every committed attempt that touched the partition records its
+	// attempt duration here while the engine's latency tracking is enabled
+	// (Engine.SetLatencyTracking). Owner-recorded — the per-worker shard
+	// of the engine-wide histogram — so the hot-path cost is one increment
+	// on an uncontended line; monitors merge shards via accumulateInto.
+	Lat stats.Histogram
 	// SnapHits counts snapshot-mode reads served from the partition's
 	// multi-version store (a stale orec whose value at the pinned snapshot
 	// was reconstructed instead of extending or aborting).
@@ -54,8 +69,12 @@ func (s *PartThreadStats) accumulateInto(out *PartStats) {
 	out.WaitCycles += s.WaitCycles.Load()
 	out.Yields += s.Yields.Load()
 	out.Parks += s.Parks.Load()
+	out.SpinNs += s.SpinNs.Load()
+	out.YieldNs += s.YieldNs.Load()
+	out.ParkNs += s.ParkNs.Load()
 	out.SnapHits += s.SnapHits.Load()
 	out.SnapMisses += s.SnapMisses.Load()
+	out.Latency = out.Latency.Add(s.Lat.Snapshot())
 	for i := range s.Aborts {
 		out.Aborts[i] += s.Aborts[i].Load()
 	}
@@ -74,8 +93,16 @@ type PartStats struct {
 	WaitCycles    uint64
 	Yields        uint64
 	Parks         uint64
+	SpinNs        uint64
+	YieldNs       uint64
+	ParkNs        uint64
 	SnapHits      uint64
 	SnapMisses    uint64
+	// Latency is the partition's commit-latency histogram (attempt begin
+	// to commit, per committed attempt touching the partition), merged
+	// across thread shards. Empty (Counts == nil) unless latency tracking
+	// is enabled (Engine.SetLatencyTracking).
+	Latency stats.HistSnapshot
 }
 
 // add accumulates o's counters into s (identity fields are untouched).
@@ -88,8 +115,12 @@ func (s *PartStats) add(o *PartStats) {
 	s.WaitCycles += o.WaitCycles
 	s.Yields += o.Yields
 	s.Parks += o.Parks
+	s.SpinNs += o.SpinNs
+	s.YieldNs += o.YieldNs
+	s.ParkNs += o.ParkNs
 	s.SnapHits += o.SnapHits
 	s.SnapMisses += o.SnapMisses
+	s.Latency = s.Latency.Add(o.Latency)
 	for i := range s.Aborts {
 		s.Aborts[i] += o.Aborts[i]
 	}
@@ -144,8 +175,12 @@ func (s PartStats) Sub(old PartStats) PartStats {
 	d.WaitCycles -= old.WaitCycles
 	d.Yields -= old.Yields
 	d.Parks -= old.Parks
+	d.SpinNs -= old.SpinNs
+	d.YieldNs -= old.YieldNs
+	d.ParkNs -= old.ParkNs
 	d.SnapHits -= old.SnapHits
 	d.SnapMisses -= old.SnapMisses
+	d.Latency = s.Latency.Sub(old.Latency)
 	for i := range d.Aborts {
 		d.Aborts[i] -= old.Aborts[i]
 	}

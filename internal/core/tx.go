@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 	"runtime"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/memory"
@@ -98,6 +99,21 @@ type Tx struct {
 	// attempt (see wait.go); they ride into AttemptEvent next to opCount.
 	yields uint64
 	parks  uint64
+	// spinNs/yieldNs/parkNs break this attempt's wait time down by phase,
+	// and stallMark is the clock reading of the last stall iteration (the
+	// attribution scheme is documented in wait.go).
+	spinNs    uint64
+	yieldNs   uint64
+	parkNs    uint64
+	stallMark time.Time
+	// timed marks an attempt whose duration is being measured (latency
+	// tracking enabled or a tracer attached): attemptStart is sampled at
+	// begin and durationNs computed at finish, so committed attempts can
+	// record into the touched partitions' latency histograms and the trace
+	// event can carry the attempt duration.
+	timed        bool
+	attemptStart time.Time
+	durationNs   uint64
 	// retiredWords/reclaimedWords count heap words this attempt retired
 	// into limbo at commit and migrated back to free lists (finish's
 	// commit-path reclaim); they ride into AttemptEvent next to the wait
@@ -191,8 +207,14 @@ func (tx *Tx) begin(readOnly, snap bool) {
 	tx.opCount = 0
 	tx.yields = 0
 	tx.parks = 0
+	tx.spinNs, tx.yieldNs, tx.parkNs = 0, 0, 0
 	tx.retiredWords = 0
 	tx.reclaimedWords = 0
+	tx.durationNs = 0
+	tx.timed = tx.eng.latency.Load() || tx.eng.tracer.Load() != nil
+	if tx.timed {
+		tx.attemptStart = time.Now()
+	}
 	tx.rs = tx.rs[:0]
 	tx.ws = tx.ws[:0]
 	tx.locks = tx.locks[:0]
@@ -1521,6 +1543,17 @@ func (tx *Tx) rollback(cause AbortCause) {
 // finish releases per-attempt state. committed selects commit vs. abort
 // bookkeeping (locks/bits are handled by the caller for commits).
 func (tx *Tx) finish(committed bool) {
+	if tx.timed {
+		// Duration measured here, not in the run loop: finish is the last
+		// act of both commit and rollback, and tx.touched is still intact,
+		// so committed attempts can attribute their latency per partition.
+		tx.durationNs = uint64(time.Since(tx.attemptStart))
+		if committed && tx.eng.latency.Load() {
+			for i := range tx.touched {
+				tx.th.statsFor(tx.touched[i].p.id).Lat.Record(tx.durationNs)
+			}
+		}
+	}
 	// This attempt no longer reads anything: stop pinning the horizon
 	// before doing reclamation bookkeeping, so a solo thread's own retires
 	// become reclaimable immediately.

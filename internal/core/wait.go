@@ -31,6 +31,15 @@ import (
 // and per attempt (AttemptEvent) — so the tuner's spin-budget heuristic
 // and the trace recorder see exactly how often waits escalate into the
 // scheduler.
+//
+// Wait TIME is attributed alongside the counts (SpinNs/YieldNs/ParkNs):
+// stall samples the clock once per iteration and charges the interval
+// since the previous iteration — pause plus the caller's re-probe — to
+// the phase that pause belonged to. The first iteration of a wait loop
+// starts the clock and the final pause of a loop goes unattributed (the
+// loop exits without calling stall again), so the breakdown undercounts
+// each wait episode by one pause; in exchange the measurement costs one
+// clock read per iteration and covers probe time, not just pause time.
 
 // parkFactor is the multiple of the spin budget past which a waiter
 // stops yielding and starts sleeping. It deliberately equals the
@@ -46,6 +55,24 @@ const maxParkMicros = 100
 // 1-based iteration count and budget the partition's SpinBudget.
 func (tx *Tx) stall(spins, budget int, st *PartThreadStats) {
 	st.WaitCycles.Add(1)
+	now := time.Now()
+	if spins > 1 {
+		// Charge the interval since the previous iteration to the phase of
+		// that iteration's pause.
+		d := uint64(now.Sub(tx.stallMark))
+		switch prev := spins - 1; {
+		case prev <= budget:
+			tx.spinNs += d
+			st.SpinNs.Add(d)
+		case prev <= parkFactor*budget:
+			tx.yieldNs += d
+			st.YieldNs.Add(d)
+		default:
+			tx.parkNs += d
+			st.ParkNs.Add(d)
+		}
+	}
+	tx.stallMark = now
 	switch {
 	case spins <= budget:
 		spinWait(tx.th.nextRand() & 15)

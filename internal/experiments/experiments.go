@@ -106,6 +106,7 @@ func All() []Experiment {
 		{"rsdedup", "Footprint-bounded bookkeeping: validate cost vs loads executed", RsDedup},
 		{"contend", "Contention sweep: read-set extension and CM pauses at scale", Contend},
 		{"mvscan", "Multi-version snapshot store: abort-free read-only scans under writers", MVScan},
+		{"tailsweep", "Open- vs closed-loop tail latency across offered load", TailSweep},
 	}
 }
 

@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram is HDR-style log-linear: values are bucketed by their
+// power-of-two magnitude (major bucket, found with one bits.Len64) and
+// each major bucket is split into 2^subBits linear sub-buckets, so the
+// relative error of any reported quantile is bounded by 2^-subBits
+// (~1/16) instead of the up-to-2x bucket-ceiling error of a plain
+// power-of-two histogram. Values below 2^subBits land in exact unit
+// buckets.
+const (
+	subBits    = 4
+	subBuckets = 1 << subBits // linear sub-buckets per power-of-two range
+	// numBuckets covers the full uint64 range: subBuckets exact unit
+	// buckets for values < subBuckets, then (64-subBits) log ranges of
+	// subBuckets linear buckets each.
+	numBuckets = (64 - subBits + 1) * subBuckets
+)
+
+// bucketIndex maps a value to its log-linear bucket.
+func bucketIndex(v uint64) int {
+	if v < subBuckets {
+		return int(v) // exact unit buckets
+	}
+	major := bits.Len64(v) - 1 // floor(log2(v)), >= subBits
+	sub := (v >> (uint(major) - subBits)) & (subBuckets - 1)
+	return (major-subBits+1)*subBuckets + int(sub)
+}
+
+// bucketBounds returns the inclusive value range [lo, hi] of bucket i.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i < subBuckets {
+		return uint64(i), uint64(i)
+	}
+	major := uint(i/subBuckets + subBits - 1)
+	sub := uint64(i % subBuckets)
+	width := uint64(1) << (major - subBits)
+	lo = (uint64(1) << major) + sub*width
+	return lo, lo + width - 1
+}
+
+// Histogram is a lock-free log-linear histogram suitable for nanosecond
+// latencies: Record is one atomic increment on a lazily allocated bucket
+// array plus count/sum/max upkeep, and concurrent Record/Merge/Snapshot
+// are all safe. The zero value is ready to use; an unused histogram
+// allocates nothing. For contention-free recording across workers give
+// each worker its own Histogram (one cache-resident line per hot bucket)
+// and Merge them afterwards — merge is bucket-wise atomic addition, so it
+// may run while recording continues (the merged view is then a momentary,
+// not instantaneous, cut: the documented trade of live sampling).
+type Histogram struct {
+	buckets atomic.Pointer[[numBuckets]atomic.Uint64]
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// lazyBuckets returns the bucket array, allocating it on first use. The
+// CAS makes concurrent first Records agree on one array.
+func (h *Histogram) lazyBuckets() *[numBuckets]atomic.Uint64 {
+	if b := h.buckets.Load(); b != nil {
+		return b
+	}
+	fresh := new([numBuckets]atomic.Uint64)
+	if h.buckets.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return h.buckets.Load()
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	h.lazyBuckets()[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// RecordSince records the elapsed time since start in nanoseconds — the
+// common latency-recording idiom.
+func (h *Histogram) RecordSince(start time.Time) {
+	h.Record(uint64(time.Since(start)))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Max returns the largest recorded value (exact, not bucket-rounded).
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Quantile returns an upper bound for quantile q (0..1), with relative
+// error bounded by 2^-4 (the sub-bucket width).
+func (h *Histogram) Quantile(q float64) uint64 { return h.Snapshot().Quantile(q) }
+
+// Merge adds o's observations into h. Safe against concurrent Record on
+// either side.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count.Load() == 0 {
+		return
+	}
+	ob := o.buckets.Load()
+	if ob == nil {
+		return
+	}
+	hb := h.lazyBuckets()
+	for i := range ob {
+		if n := ob[i].Load(); n > 0 {
+			hb[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+}
+
+// Snapshot returns a passive copy of the histogram's current state. A
+// snapshot taken while recording continues is a momentary cut (counts may
+// be mid-update across buckets); a snapshot of a quiesced histogram is
+// exact.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		N:       h.count.Load(),
+		Sum:     h.sum.Load(),
+		MaxSeen: h.max.Load(),
+	}
+	if b := h.buckets.Load(); b != nil && s.N > 0 {
+		s.Counts = make([]uint64, numBuckets)
+		for i := range b {
+			s.Counts[i] = b[i].Load()
+		}
+	}
+	return s
+}
+
+// HistSnapshot is a passive histogram state: plain counters, no atomics,
+// cheap to copy when empty (the common case when latency tracking is
+// off — Counts stays nil). Snapshots add, subtract and merge, so windowed
+// deltas of monotonic histograms work exactly like the scalar counters in
+// PartStats.
+type HistSnapshot struct {
+	// Counts holds one count per log-linear bucket (nil when empty).
+	Counts []uint64
+	// N and Sum are the observation count and value sum.
+	N   uint64
+	Sum uint64
+	// MaxSeen is the largest value recorded over the histogram's whole
+	// lifetime. It is not windowed: Sub keeps the newer reading, because a
+	// maximum cannot be subtracted.
+	MaxSeen uint64
+}
+
+// Count returns the number of observations.
+func (s HistSnapshot) Count() uint64 { return s.N }
+
+// Max returns the largest recorded value.
+func (s HistSnapshot) Max() uint64 { return s.MaxSeen }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.N)
+}
+
+// Quantile returns an upper bound for quantile q (0..1): the upper edge
+// of the bucket holding the q-th observation, so the relative error is
+// bounded by the sub-bucket width (2^-4). The top bucket is clamped to
+// MaxSeen.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.N == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.N)))
+	if target == 0 {
+		target = 1
+	}
+	if target > s.N {
+		target = s.N
+	}
+	var cum uint64
+	for i, n := range s.Counts {
+		cum += n
+		if cum >= target {
+			_, hi := bucketBounds(i)
+			if hi > s.MaxSeen {
+				hi = s.MaxSeen
+			}
+			return hi
+		}
+	}
+	return s.MaxSeen
+}
+
+// Add accumulates o into s and returns the result (counts align because
+// every histogram shares one bucket layout).
+func (s HistSnapshot) Add(o HistSnapshot) HistSnapshot {
+	if o.N == 0 {
+		return s
+	}
+	if s.N == 0 {
+		out := o
+		out.Counts = append([]uint64(nil), o.Counts...)
+		return out
+	}
+	out := s
+	out.Counts = append([]uint64(nil), s.Counts...)
+	for len(out.Counts) < len(o.Counts) {
+		out.Counts = append(out.Counts, 0)
+	}
+	for i, n := range o.Counts {
+		out.Counts[i] += n
+	}
+	out.N += o.N
+	out.Sum += o.Sum
+	if o.MaxSeen > out.MaxSeen {
+		out.MaxSeen = o.MaxSeen
+	}
+	return out
+}
+
+// Sub returns s - old bucket-wise (both cuts of the same monotonic
+// histogram): the observations recorded between the two snapshots.
+// MaxSeen keeps s's reading — the lifetime maximum at the newer cut.
+func (s HistSnapshot) Sub(old HistSnapshot) HistSnapshot {
+	if old.N == 0 {
+		return s
+	}
+	out := s
+	out.Counts = append([]uint64(nil), s.Counts...)
+	for i := range old.Counts {
+		if i < len(out.Counts) {
+			out.Counts[i] -= old.Counts[i]
+		}
+	}
+	out.N -= old.N
+	out.Sum -= old.Sum
+	return out
+}
+
+// Summary renders the headline tail figures on one line.
+func (s HistSnapshot) Summary() string {
+	return fmt.Sprintf("n=%d p50=%s p99=%s p999=%s max=%s",
+		s.N,
+		time.Duration(s.Quantile(0.50)),
+		time.Duration(s.Quantile(0.99)),
+		time.Duration(s.Quantile(0.999)),
+		time.Duration(s.MaxSeen))
+}

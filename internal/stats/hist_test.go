@@ -1,0 +1,264 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// xorshift is the deterministic sample generator for the accuracy tests.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	*x ^= *x << 13
+	*x ^= *x >> 7
+	*x ^= *x << 17
+	return uint64(*x)
+}
+
+// distributions the quantile-accuracy test sweeps: the shapes latency
+// data actually takes (flat, two-mode, and heavy-tailed), not just the
+// uniform case that happens to be kind to histograms.
+var distributions = []struct {
+	name string
+	gen  func(x *xorshift) uint64
+}{
+	{"uniform", func(x *xorshift) uint64 {
+		return 1 + x.next()%1_000_000
+	}},
+	{"bimodal", func(x *xorshift) uint64 {
+		// 90% fast path around 1µs, 10% slow path around 1ms.
+		if x.next()%10 == 0 {
+			return 900_000 + x.next()%200_000
+		}
+		return 800 + x.next()%400
+	}},
+	{"heavy-tail", func(x *xorshift) uint64 {
+		// Pareto-ish: u^-2 scaled, values span 1e3..1e9.
+		u := float64(x.next()%1_000_000+1) / 1_000_000
+		return uint64(1000 / (u * u))
+	}},
+}
+
+// TestQuantileAccuracy records each distribution into a histogram and
+// into a plain slice, and checks every reported quantile against the
+// exact order statistic: the histogram's answer must be an upper bound
+// no more than one sub-bucket width (2^-4 relative) above it. This is
+// the bound the log-linear layout exists to provide — the old
+// power-of-two histogram fails this test at most quantiles with errors
+// approaching 2x.
+func TestQuantileAccuracy(t *testing.T) {
+	const n = 200_000
+	for _, d := range distributions {
+		t.Run(d.name, func(t *testing.T) {
+			var h Histogram
+			exact := make([]uint64, n)
+			x := xorshift(12345)
+			for i := range exact {
+				v := d.gen(&x)
+				exact[i] = v
+				h.Record(v)
+			}
+			sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+			for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999, 0.9999, 1.0} {
+				rank := int(math.Ceil(q*n)) - 1
+				if rank < 0 {
+					rank = 0
+				}
+				want := exact[rank]
+				got := h.Quantile(q)
+				if got < want {
+					t.Errorf("q=%v: got %d < exact %d (quantile must be an upper bound)", q, got, want)
+				}
+				// Upper bound of the bucket holding the exact value:
+				// at most one sub-bucket width above it.
+				if limit := want + want/subBuckets + 1; got > limit {
+					t.Errorf("q=%v: got %d > %d (exact %d + 1/%d relative error)",
+						q, got, limit, want, subBuckets)
+				}
+			}
+			if h.Max() != exact[n-1] {
+				t.Errorf("Max = %d, want exact %d", h.Max(), exact[n-1])
+			}
+			if mean, want := h.Mean(), meanOf(exact); math.Abs(mean-want) > 0.5 {
+				t.Errorf("Mean = %f, want %f (sum is exact, not bucketed)", mean, want)
+			}
+		})
+	}
+}
+
+func meanOf(vals []uint64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += float64(v)
+	}
+	return sum / float64(len(vals))
+}
+
+// TestMergeEqualsUnion: merging two histograms must be indistinguishable
+// from recording both sample sets into one — bucket counts, N, Sum and
+// MaxSeen all equal. Checked for both Histogram.Merge and the snapshot-
+// level HistSnapshot.Add.
+func TestMergeEqualsUnion(t *testing.T) {
+	var a, b, union Histogram
+	x := xorshift(99)
+	for i := 0; i < 50_000; i++ {
+		v := x.next() % 10_000_000
+		if i%3 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		union.Record(v)
+	}
+	var merged Histogram
+	merged.Merge(&a)
+	merged.Merge(&b)
+	assertSnapshotsEqual(t, "Merge", merged.Snapshot(), union.Snapshot())
+	assertSnapshotsEqual(t, "Add", a.Snapshot().Add(b.Snapshot()), union.Snapshot())
+}
+
+func assertSnapshotsEqual(t *testing.T, how string, got, want HistSnapshot) {
+	t.Helper()
+	if got.N != want.N || got.Sum != want.Sum || got.MaxSeen != want.MaxSeen {
+		t.Fatalf("%s: N/Sum/Max = %d/%d/%d, want %d/%d/%d",
+			how, got.N, got.Sum, got.MaxSeen, want.N, want.Sum, want.MaxSeen)
+	}
+	for i := range want.Counts {
+		g := uint64(0)
+		if i < len(got.Counts) {
+			g = got.Counts[i]
+		}
+		if g != want.Counts[i] {
+			t.Fatalf("%s: bucket %d = %d, want %d", how, i, g, want.Counts[i])
+		}
+	}
+}
+
+// TestSnapshotSubWindow: (cut2 - cut1) of a monotonic histogram must
+// equal a histogram of only the between-cuts observations.
+func TestSnapshotSubWindow(t *testing.T) {
+	var h, window Histogram
+	x := xorshift(7)
+	for i := 0; i < 10_000; i++ {
+		h.Record(x.next() % 1000)
+	}
+	cut1 := h.Snapshot()
+	for i := 0; i < 10_000; i++ {
+		v := x.next() % 1000
+		h.Record(v)
+		window.Record(v)
+	}
+	got := h.Snapshot().Sub(cut1)
+	want := window.Snapshot()
+	if got.N != want.N || got.Sum != want.Sum {
+		t.Fatalf("windowed N/Sum = %d/%d, want %d/%d", got.N, got.Sum, want.N, want.Sum)
+	}
+	for i := range want.Counts {
+		if got.Counts[i] != want.Counts[i] {
+			t.Fatalf("windowed bucket %d = %d, want %d", i, got.Counts[i], want.Counts[i])
+		}
+	}
+	if got.Quantile(0.99) != want.Quantile(0.99) {
+		t.Fatalf("windowed p99 = %d, want %d", got.Quantile(0.99), want.Quantile(0.99))
+	}
+}
+
+// TestConcurrentRecordMergeSnapshot is the -race exercise for the
+// documented concurrency contract: Record, Merge and Snapshot may all
+// run at once; after quiescing, the destination must account for every
+// observation exactly once.
+func TestConcurrentRecordMergeSnapshot(t *testing.T) {
+	const workers, perW = 4, 20_000
+	shards := make([]Histogram, workers)
+	var dst Histogram
+	var recorders sync.WaitGroup
+	for w := range shards {
+		recorders.Add(1)
+		go func(w int) {
+			defer recorders.Done()
+			x := xorshift(w + 1)
+			for i := 0; i < perW; i++ {
+				shards[w].Record(x.next() % 1_000_000)
+			}
+		}(w)
+		recorders.Add(1)
+		go func(w int) {
+			defer recorders.Done()
+			x := xorshift(1000 + w)
+			for i := 0; i < perW; i++ {
+				dst.Record(x.next() % 1_000_000)
+			}
+		}(w)
+	}
+	// Concurrent live merges and snapshots while recording runs:
+	// momentary cuts, must not race or corrupt (counts are re-merged
+	// exactly below).
+	stop := make(chan struct{})
+	merger := make(chan struct{})
+	go func() {
+		defer close(merger)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var live Histogram
+			for w := range shards {
+				live.Merge(&shards[w])
+			}
+			_ = live.Snapshot().Quantile(0.99)
+			_ = dst.Snapshot()
+		}
+	}()
+	recorders.Wait()
+	close(stop)
+	<-merger
+	for w := range shards {
+		dst.Merge(&shards[w])
+	}
+	if got, want := dst.Count(), uint64(2*workers*perW); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+}
+
+// TestSummaryShape pins the trace-facing one-line format.
+func TestSummaryShape(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Record(i * 1000) // 1µs..1ms
+	}
+	s := h.Snapshot().Summary()
+	for _, want := range []string{"n=1000", "p50=", "p99=", "p999=", "max=1ms"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q lacks %q", s, want)
+		}
+	}
+}
+
+// BenchmarkRecord prices the hot-path contract: one observation is a
+// bucket increment plus count/sum/max upkeep on an uncontended line.
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i)&0xfffff + 1)
+	}
+}
+
+// BenchmarkRecordSharded is the per-worker shard pattern the harness
+// uses: every worker owns a histogram, so recording scales with no
+// shared-line contention.
+func BenchmarkRecordSharded(b *testing.B) {
+	b.RunParallel(func(pb *testing.PB) {
+		var h Histogram
+		v := uint64(1)
+		for pb.Next() {
+			v = v*2862933555777941757 + 3037000493
+			h.Record(v & 0xfffff)
+		}
+	})
+}

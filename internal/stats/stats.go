@@ -1,72 +1,14 @@
 // Package stats provides small measurement utilities for the benchmark
-// harness: power-of-two latency histograms and labeled time/value series
-// with text rendering.
+// harness and the engine's observability layer: HDR-style log-linear
+// latency histograms (lock-free recording, mergeable snapshots) and
+// labeled time/value series with text rendering.
 package stats
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
-	"sync/atomic"
 )
-
-// Histogram is a lock-free histogram with power-of-two buckets; bucket i
-// counts values in [2^i, 2^(i+1)). Suitable for nanosecond latencies.
-type Histogram struct {
-	buckets [64]atomic.Uint64
-	count   atomic.Uint64
-	sum     atomic.Uint64
-}
-
-// Record adds one observation.
-func (h *Histogram) Record(v uint64) {
-	h.buckets[log2(v)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
-}
-
-func log2(v uint64) int {
-	n := 0
-	for v > 1 {
-		v >>= 1
-		n++
-	}
-	return n
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Mean returns the arithmetic mean, or 0 when empty.
-func (h *Histogram) Mean() float64 {
-	c := h.count.Load()
-	if c == 0 {
-		return 0
-	}
-	return float64(h.sum.Load()) / float64(c)
-}
-
-// Quantile returns an upper bound for quantile q (0..1) based on bucket
-// boundaries.
-func (h *Histogram) Quantile(q float64) uint64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := uint64(math.Ceil(q * float64(total)))
-	if target == 0 {
-		target = 1
-	}
-	var cum uint64
-	for i := range h.buckets {
-		cum += h.buckets[i].Load()
-		if cum >= target {
-			return uint64(1) << uint(i+1)
-		}
-	}
-	return uint64(1) << 63
-}
 
 // Point is one (x, y) sample of a series.
 type Point struct {

@@ -85,11 +85,32 @@ func TestTable(t *testing.T) {
 	}
 }
 
-func TestLog2(t *testing.T) {
-	cases := map[uint64]int{1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10}
-	for v, want := range cases {
-		if got := log2(v); got != want {
-			t.Errorf("log2(%d) = %d, want %d", v, got, want)
+func TestBucketIndexBounds(t *testing.T) {
+	// Every value must land in a bucket whose [lo, hi] range contains it,
+	// and bucket indexes must be monotone in the value.
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 15, 16, 17, 31, 32, 33, 1000, 1023, 1024,
+		1 << 20, 1<<20 + 1, 1 << 40, 1<<63 - 1, 1 << 63, ^uint64(0)} {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		lo, hi := bucketBounds(i)
+		if v < lo || v > hi {
+			t.Errorf("bucketIndex(%d) = %d with bounds [%d, %d]", v, i, lo, hi)
+		}
+		if i < prev {
+			t.Errorf("bucketIndex(%d) = %d not monotone (prev %d)", v, i, prev)
+		}
+		prev = i
+	}
+	// The linear split bounds relative error: bucket width / lower bound
+	// <= 2^-subBits for all log-range buckets.
+	for i := subBuckets; i < numBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if width := hi - lo + 1; float64(width)/float64(lo) > 1.0/subBuckets+1e-9 {
+			t.Fatalf("bucket %d [%d, %d]: relative width %g too coarse",
+				i, lo, hi, float64(width)/float64(lo))
 		}
 	}
 }

@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 // Recorder is a fixed-capacity ring buffer of attempt events implementing
@@ -49,6 +51,18 @@ type Recorder struct {
 	// horizon is not keeping up (see core.ReclaimStats.HorizonLag).
 	retiredWords   atomic.Uint64
 	reclaimedWords atomic.Uint64
+
+	// commitLat aggregates committed attempts' durations (abortLat the
+	// aborted ones') into latency histograms — the tail-latency picture
+	// next to the abort mix. The engine timestamps every attempt while a
+	// tracer is attached, so these populate with no extra configuration.
+	// spinNs/yieldNs/parkNs total the recorded attempts' wait time by
+	// stall phase (see the attribution note in core's wait discipline).
+	commitLat stats.Histogram
+	abortLat  stats.Histogram
+	spinNs    atomic.Uint64
+	yieldNs   atomic.Uint64
+	parkNs    atomic.Uint64
 }
 
 // NewRecorder creates a recorder keeping the last capacity events
@@ -67,8 +81,14 @@ func (r *Recorder) TraceAttempt(ev core.AttemptEvent) {
 	r.events[i%uint64(len(r.events))].Store(&e)
 	if ev.Cause == core.AbortNone {
 		r.commits.Add(1)
+		if ev.DurationNs > 0 {
+			r.commitLat.Record(ev.DurationNs)
+		}
 	} else {
 		r.aborts[ev.Cause].Add(1)
+		if ev.DurationNs > 0 {
+			r.abortLat.Record(ev.DurationNs)
+		}
 	}
 	if ev.Attempt > 1 {
 		r.retried.Add(1)
@@ -87,6 +107,15 @@ func (r *Recorder) TraceAttempt(ev core.AttemptEvent) {
 	}
 	if ev.RetiredWords > 0 {
 		r.retiredWords.Add(ev.RetiredWords)
+	}
+	if ev.SpinNs > 0 {
+		r.spinNs.Add(ev.SpinNs)
+	}
+	if ev.YieldNs > 0 {
+		r.yieldNs.Add(ev.YieldNs)
+	}
+	if ev.ParkNs > 0 {
+		r.parkNs.Add(ev.ParkNs)
 	}
 	if ev.ReclaimedWords > 0 {
 		r.reclaimedWords.Add(ev.ReclaimedWords)
@@ -138,6 +167,21 @@ func (r *Recorder) RetiredWords() uint64 { return r.retiredWords.Load() }
 // from limbo back to free lists.
 func (r *Recorder) ReclaimedWords() uint64 { return r.reclaimedWords.Load() }
 
+// CommitLatency returns the histogram of committed attempts' durations
+// (one sample per committed attempt, retries excluded — each attempt of
+// a retried transaction lands in the histogram matching its outcome).
+func (r *Recorder) CommitLatency() stats.HistSnapshot { return r.commitLat.Snapshot() }
+
+// AbortLatency returns the histogram of aborted attempts' durations —
+// the cost of wasted work, next to CommitLatency's cost of useful work.
+func (r *Recorder) AbortLatency() stats.HistSnapshot { return r.abortLat.Snapshot() }
+
+// WaitNs returns the recorded attempts' total wait time broken down by
+// stall phase: on-CPU spinning, scheduler yields, and timed parks.
+func (r *Recorder) WaitNs() (spin, yield, park uint64) {
+	return r.spinNs.Load(), r.yieldNs.Load(), r.parkNs.Load()
+}
+
 // Snapshot returns the buffered events oldest-first. Call it after
 // removing the recorder from the engine (SetTracer(nil)) for an exact
 // tail; a live snapshot may miss events being written concurrently.
@@ -177,6 +221,16 @@ func (r *Recorder) Summary() string {
 	}
 	if ret, rec := r.retiredWords.Load(), r.reclaimedWords.Load(); ret > 0 || rec > 0 {
 		fmt.Fprintf(&b, "  reclamation: %d words retired, %d reclaimed\n", ret, rec)
+	}
+	if cl := r.commitLat.Snapshot(); cl.Count() > 0 {
+		fmt.Fprintf(&b, "  latency: commit %s\n", cl.Summary())
+	}
+	if al := r.abortLat.Snapshot(); al.Count() > 0 {
+		fmt.Fprintf(&b, "  latency: abort  %s\n", al.Summary())
+	}
+	if s, y, p := r.spinNs.Load(), r.yieldNs.Load(), r.parkNs.Load(); s+y+p > 0 {
+		fmt.Fprintf(&b, "  wait time: spin %v, yield %v, park %v\n",
+			time.Duration(s), time.Duration(y), time.Duration(p))
 	}
 	return b.String()
 }

@@ -127,6 +127,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/mvstore"
 	"repro/internal/partition"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/tuning"
 )
@@ -188,6 +189,10 @@ type (
 	// ReclaimStats is a momentary reading of epoch-based memory
 	// reclamation: horizon, lag, and retired/reclaimed word totals.
 	ReclaimStats = core.ReclaimStats
+	// LatencyStats is a mergeable latency-histogram snapshot (HDR-style
+	// log-linear buckets, ~6% bounded relative error): Count, Mean,
+	// Quantile, Max, plus Add/Sub for unions and windowed deltas.
+	LatencyStats = stats.HistSnapshot
 )
 
 // ErrMaxAttempts is returned by Thread.Run when a MaxAttempts budget is
@@ -298,6 +303,13 @@ type Config struct {
 	// conflict and New returns an error rather than silently preferring
 	// either.
 	SnapshotHistory uint
+	// LatencyStats enables per-attempt commit-latency tracking from the
+	// start: every committed attempt records its duration into the touched
+	// partitions' histograms, readable via Runtime.LatencyStats and
+	// PartStats.Latency. Off by default (one clock read per attempt plus
+	// one histogram increment per touched partition when on); can also be
+	// toggled live with Runtime.SetLatencyTracking.
+	LatencyStats bool
 }
 
 // Runtime owns the heap, the STM engine, the partition analyzer and the
@@ -348,6 +360,9 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if cfg.TimeBase != TimeBaseGlobal {
 		rt.eng.SetTimeBaseMode(cfg.TimeBase)
+	}
+	if cfg.LatencyStats {
+		rt.eng.SetLatencyTracking(true)
 	}
 	return rt, nil
 }
@@ -576,6 +591,19 @@ func (r *Runtime) SnapshotHistory(id PartID) SnapshotHistoryStats {
 
 // Stats returns a statistics snapshot for every partition.
 func (r *Runtime) Stats() []PartStats { return r.eng.AllStats() }
+
+// SetLatencyTracking enables or disables per-attempt commit-latency
+// recording (see Config.LatencyStats). Safe to toggle live.
+func (r *Runtime) SetLatencyTracking(on bool) { r.eng.SetLatencyTracking(on) }
+
+// LatencyTracking reports whether commit-latency recording is on.
+func (r *Runtime) LatencyTracking() bool { return r.eng.LatencyTracking() }
+
+// LatencyStats returns the runtime-wide commit-latency histogram —
+// every partition's per-thread shards merged. Empty unless latency
+// tracking is (or was) enabled via Config.LatencyStats or
+// SetLatencyTracking. Per-partition breakdowns are on PartStats.Latency.
+func (r *Runtime) LatencyStats() LatencyStats { return r.eng.LatencySnapshot() }
 
 // PartitionStats returns the snapshot for one partition.
 func (r *Runtime) PartitionStats(id PartID) PartStats { return r.eng.StatsSnapshot(id) }
