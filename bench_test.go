@@ -13,6 +13,7 @@ package repro_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/mvstore"
+	"repro/internal/wal"
 	"repro/internal/workload"
 	"repro/stm"
 	"repro/txds"
@@ -692,6 +694,66 @@ func BenchmarkOpenLoopLatency(b *testing.B) {
 	}
 	b.ReportMetric(float64(res.Latency.Quantile(0.99)), "p99-ns/op")
 	b.ReportMetric(res.Achieved, "ops/s")
+}
+
+// BenchmarkWALAppend prices the redo log's publish path in isolation:
+// each op hands a small commit record to the group-commit ring (Async
+// durability, so nothing waits for fsync). This is the fixed cost every
+// durable commit adds on top of the STM commit itself.
+func BenchmarkWALAppend(b *testing.B) {
+	log, _, err := wal.Open(b.TempDir(), wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	ops := []wal.Op{{Addr: 64, Val: 1}, {Addr: 65, Val: 2}, {Addr: 66, Val: 3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		log.PublishCommit(uint64(i+1), ops)
+	}
+	b.StopTimer()
+	if !log.Sync() {
+		b.Fatal("final sync failed")
+	}
+}
+
+// BenchmarkCommitSyncDurability measures the full durable commit path:
+// small write transactions under DurabilitySync, where every Run parks
+// until the group committer reports its LSN fsynced. With concurrent
+// committers the fsync amortizes across the group, so per-op cost should
+// sit well below one fsync.
+func BenchmarkCommitSyncDurability(b *testing.B) {
+	rt, err := stm.New(stm.Config{
+		HeapWords: 1 << 16,
+		WAL: &stm.WALConfig{
+			Dir:                 b.TempDir(),
+			Durability:          stm.DurabilitySync,
+			GroupCommitInterval: 50 * time.Microsecond,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	setup := rt.MustAttach()
+	var base stm.Addr
+	setup.Atomic(func(tx *stm.Tx) {
+		base = tx.Alloc(stm.SiteID(0), 64)
+	})
+	rt.Detach(setup)
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		th := rt.MustAttach()
+		defer rt.Detach(th)
+		slot := stm.Addr(next.Add(1) % 64)
+		for pb.Next() {
+			th.Run(func(tx *stm.Tx) error {
+				tx.Store(base+slot, tx.Load(base+slot)+1)
+				return nil
+			})
+		}
+	})
 }
 
 // BenchmarkContendedCounter measures throughput of the maximal-contention

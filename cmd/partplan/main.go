@@ -2,12 +2,13 @@
 // profile a benchmark application, install the discovered partitioning,
 // let the runtime tuner specialize each partition under load, and emit
 // the resulting plan (topology + tuned per-partition configurations) as
-// JSON. A later run loads that file with Runtime.LoadAndInstallPlan and
-// starts already-tuned — the runtime tuner then only tracks drift.
+// JSON. A later run loads that file with Runtime.LoadAndInstallPlanFile
+// and starts already-tuned — the runtime tuner then only tracks drift.
 //
 // Usage:
 //
-//	partplan -app vacation -tune 3s > vacation.plan.json
+//	partplan -app vacation -tune 3s -o vacation.plan.json  # atomic, checksummed
+//	partplan -app vacation -tune 3s > vacation.plan.json   # plain stdout
 //	partplan -app intset -check vacation.plan.json   # validate a file loads
 package main
 
@@ -30,6 +31,7 @@ func main() {
 		threads = flag.Int("threads", 8, "worker threads during the tuning window")
 		yield   = flag.Uint64("yield", 8, "interleaving simulation (see partbench)")
 		check   = flag.String("check", "", "instead of generating: validate that this plan file loads against the app's sites")
+		out     = flag.String("o", "", "write the plan to this file atomically (checksummed temp file + rename) instead of stdout")
 	)
 	flag.Parse()
 
@@ -50,13 +52,9 @@ func main() {
 
 	if *check != "" {
 		rt.StopProfiling()
-		f, err := os.Open(*check)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		plan, err := rt.LoadAndInstallPlan(f)
+		// LoadAndInstallPlanFile validates the envelope checksum, so a
+		// torn or rotted file reports as corrupt rather than half-loading.
+		plan, err := rt.LoadAndInstallPlanFile(*check)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plan does not load: %v\n", err)
 			os.Exit(1)
@@ -85,6 +83,14 @@ func main() {
 	decisions := rt.StopTuner()
 	fmt.Fprintf(os.Stderr, "tuner: %d decisions in %s\n", len(decisions), *tune)
 
+	if *out != "" {
+		if err := rt.SavePlanFile(*out, plan); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "plan written to %s\n", *out)
+		return
+	}
 	if err := rt.SavePlan(os.Stdout, plan); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

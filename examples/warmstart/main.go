@@ -7,8 +7,10 @@
 package main
 
 import (
-	"bytes"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/apps"
@@ -47,12 +49,16 @@ func main() {
 		func(th *stm.Thread, rng *workload.Rng) { bank.Op(th, rng, bankCfg) })
 	decisions := rt1.StopTuner()
 
-	var saved bytes.Buffer
-	if err := rt1.SavePlan(&saved, plan); err != nil {
+	// SavePlanFile writes atomically (checksummed temp file + rename), so
+	// a crash mid-save can never leave a half-written plan for run 2.
+	planPath := filepath.Join(os.TempDir(), fmt.Sprintf("warmstart-%d.plan.json", os.Getpid()))
+	defer os.Remove(planPath)
+	if err := rt1.SavePlanFile(planPath, plan); err != nil {
 		panic(err)
 	}
+	saved, _ := os.ReadFile(planPath)
 	fmt.Printf("run 1: %.0f ops/s, %d tuner decisions; saved plan:\n%s\n",
-		res1.Throughput, len(decisions), saved.String())
+		res1.Throughput, len(decisions), saved)
 
 	// ---- Run 2: fresh runtime, warm start ------------------------------
 	rt2 := stm.MustNew(stm.Config{HeapWords: 1 << 20, YieldEveryOps: 8})
@@ -62,7 +68,13 @@ func main() {
 	th2 := rt2.MustAttach()
 	bank2 := apps.NewBank(rt2, th2, bankCfg)
 	rt2.Detach(th2)
-	loaded, err := rt2.LoadAndInstallPlan(bytes.NewReader(saved.Bytes()))
+	loaded, err := rt2.LoadAndInstallPlanFile(planPath)
+	if errors.Is(err, stm.ErrCorruptPlan) || errors.Is(err, os.ErrNotExist) {
+		// The warm-start contract: a damaged or missing plan file means a
+		// cold start, never a crash or a half-installed topology.
+		fmt.Println("run 2: plan file unusable, cold start")
+		return
+	}
 	if err != nil {
 		panic(err)
 	}

@@ -91,6 +91,11 @@ type Engine struct {
 	// unset; see SetTracer.
 	tracer atomic.Pointer[txTracerBox]
 
+	// walState, when set, makes every update commit tee its write set
+	// into the attached redo log (wal.go). One atomic pointer load per
+	// commit when unset; see SetWAL.
+	walState atomic.Pointer[walBox]
+
 	// latency, when set, makes every attempt measure its duration and
 	// every committed attempt record it into the touched partitions'
 	// commit-latency histograms (PartThreadStats.Lat). Off by default: the
@@ -625,6 +630,15 @@ func (e *Engine) run(th *Thread, cfg runCfg, fn func(*Tx) error) error {
 		}
 		switch {
 		case cause == AbortNone && userErr == nil:
+			if tx.walSeq != 0 {
+				// Sync durability: park until this commit's redo record is
+				// fsynced. The transaction has fully finished (locks
+				// released, gate exited), so waiting here stalls only this
+				// caller, never the protocol.
+				if box := e.walState.Load(); box != nil && box.sync {
+					box.log.WaitDurable(tx.walSeq)
+				}
+			}
 			return nil
 		case userErr != nil:
 			return userErr
@@ -633,7 +647,7 @@ func (e *Engine) run(th *Thread, cfg runCfg, fn func(*Tx) error) error {
 			cfg.onAbort(cause, attempt)
 		}
 		if cfg.maxAttempts > 0 && attempt >= cfg.maxAttempts {
-			return ErrMaxAttempts
+			return &MaxAttemptsError{Attempts: attempt, Cause: cause}
 		}
 		if cause == AbortUpgrade {
 			readOnly = false

@@ -1,12 +1,35 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
-// ErrMaxAttempts is returned by Run when a MaxAttempts budget is exhausted
-// before the transaction commits. The attempt that hit the limit has been
-// rolled back completely; the caller may simply call Run again to keep
-// trying.
+// ErrMaxAttempts is the sentinel for a MaxAttempts budget exhausted before
+// the transaction commits. Run returns a *MaxAttemptsError carrying the
+// final abort cause; match with errors.Is(err, ErrMaxAttempts) and dig the
+// cause out with errors.As. The attempt that hit the limit has been rolled
+// back completely; the caller may simply call Run again to keep trying.
 var ErrMaxAttempts = errors.New("core: transaction aborted more than MaxAttempts times")
+
+// MaxAttemptsError is the concrete error Run returns when a MaxAttempts
+// budget runs out. It records how many attempts were made and why the last
+// one aborted — so a caller can tell a lock-conflict livelock from, say,
+// contention-manager kills — while still matching the ErrMaxAttempts
+// sentinel through errors.Is.
+type MaxAttemptsError struct {
+	// Attempts is the number of attempts made (equal to the budget).
+	Attempts int
+	// Cause is the final attempt's abort cause.
+	Cause AbortCause
+}
+
+func (e *MaxAttemptsError) Error() string {
+	return fmt.Sprintf("core: transaction aborted %d times (last cause: %s)", e.Attempts, e.Cause)
+}
+
+// Is makes errors.Is(err, ErrMaxAttempts) succeed on a *MaxAttemptsError.
+func (e *MaxAttemptsError) Is(target error) bool { return target == ErrMaxAttempts }
 
 // runCfg is the resolved execution mode of one Run call. The zero value is
 // a plain update transaction retried until commit — exactly Atomic.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/memory"
 	"repro/internal/mvstore"
+	"repro/internal/wal"
 )
 
 // writeMode tags how a write-set entry reaches memory.
@@ -169,6 +170,12 @@ type Tx struct {
 	extSnaps    []uint64
 	histRecs    [][]mvstore.Record
 	histBufs    []*mvstore.Buffer
+
+	// Redo-log scratch (wal.go): the record built under this commit's
+	// write locks and the log sequence it claimed (0 when nothing was
+	// published — read-only attempt, no log attached, or log shut down).
+	walOps []wal.Op
+	walSeq uint64
 }
 
 func (tx *Tx) init(e *Engine, th *Thread) {
@@ -211,6 +218,7 @@ func (tx *Tx) begin(readOnly, snap bool) {
 	tx.retiredWords = 0
 	tx.reclaimedWords = 0
 	tx.durationNs = 0
+	tx.walSeq = 0
 	tx.timed = tx.eng.latency.Load() || tx.eng.tracer.Load() != nil
 	if tx.timed {
 		tx.attemptStart = time.Now()
@@ -1300,6 +1308,7 @@ func (tx *Tx) commit() {
 		}
 	}
 	tx.appendHistory()
+	tx.teeWAL()
 	for i := range tx.ws {
 		en := &tx.ws[i]
 		if en.mode != modeWT {

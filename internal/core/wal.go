@@ -1,0 +1,85 @@
+package core
+
+import (
+	"repro/internal/memory"
+	"repro/internal/wal"
+)
+
+// walBox pairs the engine's attached redo log with its durability mode
+// (one atomic pointer load per commit when attached, one nil check when
+// not — Durability Off costs the commit path nothing else).
+type walBox struct {
+	log  *wal.Log
+	sync bool
+}
+
+// SetWAL attaches (or with nil detaches) the durable redo log. While
+// attached, every update commit tees its write set into the log — still
+// under its write locks, so log order is commit order — and block grabs
+// are journaled through the arena's grab hook. With syncCommits set,
+// Run parks each committing transaction until its record is fsynced.
+func (e *Engine) SetWAL(log *wal.Log, syncCommits bool) {
+	if log == nil {
+		e.walState.Store(nil)
+		e.arena.SetGrabHook(nil)
+		return
+	}
+	sites := e.arena.Sites()
+	e.arena.SetGrabHook(func(firstBlock, blocks uint64, site memory.SiteID) {
+		log.PublishGrab(firstBlock, blocks, sites.Name(site))
+	})
+	e.walState.Store(&walBox{log: log, sync: syncCommits})
+}
+
+// WALLog returns the attached redo log, or nil.
+func (e *Engine) WALLog() *wal.Log {
+	if box := e.walState.Load(); box != nil {
+		return box.log
+	}
+	return nil
+}
+
+// WALStats returns the attached log's counters (zero Stats, false when
+// no log is attached).
+func (e *Engine) WALStats() (wal.Stats, bool) {
+	if box := e.walState.Load(); box != nil {
+		return box.log.Stats(), true
+	}
+	return wal.Stats{}, false
+}
+
+// teeWAL publishes this commit's redo record: the write set's absolute
+// post-images plus the commit's write version. It must run inside the
+// commit sequence after assignWriteVersions (the record carries this
+// commit's version) and before any lock release (the claimed log
+// sequence then orders identically with commit order on every written
+// address — the property that makes any recovered log prefix a
+// consistent cut). The write set is deduplicated by address, so the
+// record holds each written word once, with its final value.
+func (tx *Tx) teeWAL() {
+	box := tx.eng.walState.Load()
+	if box == nil || len(tx.ws) == 0 {
+		return
+	}
+	ver := tx.commitWV[0]
+	if tx.pl {
+		for _, wv := range tx.commitWV {
+			if wv > ver {
+				ver = wv
+			}
+		}
+	}
+	ops := tx.walOps[:0]
+	for i := range tx.ws {
+		en := &tx.ws[i]
+		v := en.val
+		if en.mode == modeWT {
+			// Write-through stored the new value in place at encounter
+			// time; the entry only keeps the undo pre-image.
+			v = tx.eng.arena.LoadAtomic(en.addr)
+		}
+		ops = append(ops, wal.Op{Addr: uint64(en.addr), Val: v})
+	}
+	tx.walOps = ops
+	tx.walSeq = box.log.PublishCommit(ver, ops)
+}

@@ -107,6 +107,7 @@ func All() []Experiment {
 		{"contend", "Contention sweep: read-set extension and CM pauses at scale", Contend},
 		{"mvscan", "Multi-version snapshot store: abort-free read-only scans under writers", MVScan},
 		{"tailsweep", "Open- vs closed-loop tail latency across offered load", TailSweep},
+		{"waltorture", "Durable log crash torture: conservation and acked floors across recoveries", WALTorture},
 	}
 }
 

@@ -74,6 +74,11 @@ type Arena struct {
 	mu        sync.Mutex
 	blockSite []SiteID // block -> owning site; only grows under mu, read racily after publication
 	nextBlock uint64   // next unassigned block (block 0 is reserved: holds Addr 0)
+	// grabHook, when set, observes every block-range assignment (under
+	// mu, immediately after it happens). The durable log journals grabs
+	// through it so a recovered arena never re-hands-out blocks that
+	// replayed commit records have repopulated.
+	grabHook func(firstBlock, blocks uint64, site SiteID)
 
 	sites *Sites
 
@@ -199,7 +204,75 @@ func (a *Arena) grabBlocks(site SiteID, k uint64) (Addr, error) {
 	for i := uint64(0); i < k; i++ {
 		a.blockSite[b+i] = site
 	}
+	if a.grabHook != nil {
+		// Under mu, before the range is visible to the caller: the hook's
+		// log sequence therefore precedes any commit record that writes
+		// into these blocks.
+		a.grabHook(b, k, site)
+	}
 	return Addr(b << a.blockShift), nil
+}
+
+// SetGrabHook installs (or with nil removes) the block-grab observer,
+// called under the arena mutex right after each assignment.
+func (a *Arena) SetGrabHook(fn func(firstBlock, blocks uint64, site SiteID)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.grabHook = fn
+}
+
+// ApplyGrab replays a journaled block-range assignment: blocks
+// [firstBlock, firstBlock+blocks) belong to site, and the next-free
+// cursor moves past them. Idempotent; used only during recovery, before
+// concurrent traffic starts.
+func (a *Arena) ApplyGrab(firstBlock, blocks uint64, site SiteID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if firstBlock+blocks > a.numBlocks {
+		return fmt.Errorf("memory: replayed grab [%d,%d) exceeds arena of %d blocks",
+			firstBlock, firstBlock+blocks, a.numBlocks)
+	}
+	for i := uint64(0); i < blocks; i++ {
+		a.blockSite[firstBlock+i] = site
+	}
+	if a.nextBlock < firstBlock+blocks {
+		a.nextBlock = firstBlock + blocks
+	}
+	return nil
+}
+
+// SnapshotBlocks returns the next-free-block cursor and a copy of the
+// block→site table up to it, taken atomically with respect to grabs.
+func (a *Arena) SnapshotBlocks() (nextBlock uint64, blockSite []SiteID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bs := make([]SiteID, a.nextBlock)
+	copy(bs, a.blockSite[:a.nextBlock])
+	return a.nextBlock, bs
+}
+
+// RestoreSnapshot installs a checkpoint image: heap words, the block→site
+// table prefix, and the next-free cursor. It must run before any
+// transactional traffic (recovery only); the arena must be at least as
+// large as the image.
+func (a *Arena) RestoreSnapshot(nextBlock uint64, blockSite []SiteID, words []uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if nextBlock > a.numBlocks {
+		return fmt.Errorf("memory: checkpoint has %d blocks, arena only %d — grow CapacityWords", nextBlock, a.numBlocks)
+	}
+	if uint64(len(blockSite)) != nextBlock {
+		return fmt.Errorf("memory: checkpoint block table has %d entries for %d blocks", len(blockSite), nextBlock)
+	}
+	if uint64(len(words)) != nextBlock<<a.blockShift {
+		return fmt.Errorf("memory: checkpoint image has %d words for %d blocks of %d", len(words), nextBlock, a.blockSize)
+	}
+	copy(a.words, words)
+	copy(a.blockSite, blockSite)
+	if a.nextBlock < nextBlock {
+		a.nextBlock = nextBlock
+	}
+	return nil
 }
 
 // BlockSiteTable returns the block→site table. The slice is owned by the

@@ -1,0 +1,154 @@
+package partition
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+// ErrCorruptPlan marks a plan file that failed integrity validation — a
+// torn write from a crash mid-save, or bit rot. Callers doing warm starts
+// should treat it like a missing file (cold start) rather than a fatal
+// error; errors.Is(err, ErrCorruptPlan) distinguishes it from genuine
+// configuration mistakes such as unregistered sites.
+var ErrCorruptPlan = errors.New("partition: plan file corrupt")
+
+// savedPlanFile is the on-disk envelope of SaveFile: the SavedPlan JSON
+// plus a CRC32C over its compacted form (JSON indentation is not stable
+// across re-marshalling, the value is), so a half-written or bit-rotted
+// file is detected instead of half-parsed.
+type savedPlanFile struct {
+	Version int             `json:"fileVersion"`
+	CRC32C  uint32          `json:"crc32c"`
+	Plan    json.RawMessage `json:"plan"`
+}
+
+// planChecksum is the CRC32C of the plan JSON in compact form.
+func planChecksum(plan []byte) (uint32, error) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, plan); err != nil {
+		return 0, err
+	}
+	return crc32.Checksum(compact.Bytes(), planCastagnoli), nil
+}
+
+const savedPlanFileVersion = 1
+
+var planCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SaveFile atomically writes the plan (with configs, as in Save) to path:
+// the checksummed envelope goes to a temp file in the same directory,
+// which is fsynced, renamed over path, and the directory fsynced. A crash
+// at any point leaves either the old file or the new one — never a torn
+// mix, which LoadPlanFile would reject as ErrCorruptPlan anyway.
+func (p *Plan) SaveFile(path string, sites *memory.Sites, configs []core.PartConfig) error {
+	var buf bytes.Buffer
+	if err := p.Save(&buf, sites, configs); err != nil {
+		return err
+	}
+	sum, err := planChecksum(buf.Bytes())
+	if err != nil {
+		return err
+	}
+	env, err := json.MarshalIndent(savedPlanFile{
+		Version: savedPlanFileVersion,
+		CRC32C:  sum,
+		Plan:    json.RawMessage(buf.Bytes()),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = func() error {
+		if _, err := f.Write(env); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncParentDir(path)
+}
+
+// LoadPlanFile reads a plan written by SaveFile, validates its checksum,
+// and rebinds it to the current site table (as LoadPlan). A missing file
+// returns os.ErrNotExist; a file failing envelope or checksum validation
+// returns an error matching ErrCorruptPlan. Plain SavedPlan JSON written
+// by Plan.Save (no envelope) is still accepted, so pre-envelope plan
+// files keep loading.
+func LoadPlanFile(path string, sites *memory.Sites, defaultCfg core.PartConfig) (*Plan, error) {
+	os.Remove(path + ".tmp") // crash leftover from SaveFile, never valid
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var env savedPlanFile
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptPlan, path, err)
+	}
+	if len(env.Plan) == 0 {
+		// No envelope: a legacy Plan.Save file (its top level has no
+		// "plan" key). Parse it directly, but still fail as corrupt when
+		// it isn't a plan either.
+		p, err := LoadPlan(bytes.NewReader(data), sites, defaultCfg)
+		if err != nil && !isPlanContentError(err) {
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorruptPlan, path, err)
+		}
+		return p, err
+	}
+	if env.Version != savedPlanFileVersion {
+		return nil, fmt.Errorf("%w: %s: file version %d, want %d", ErrCorruptPlan, path, env.Version, savedPlanFileVersion)
+	}
+	got, err := planChecksum(env.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptPlan, path, err)
+	}
+	if got != env.CRC32C {
+		return nil, fmt.Errorf("%w: %s: checksum %08x, want %08x", ErrCorruptPlan, path, got, env.CRC32C)
+	}
+	return LoadPlan(bytes.NewReader(env.Plan), sites, defaultCfg)
+}
+
+// isPlanContentError reports whether a LoadPlan failure is about the
+// plan's CONTENT (unknown sites, bad enum values) rather than its syntax.
+// Content errors surface as-is — the file is intact, the configuration is
+// wrong — while syntax errors on an unenveloped file mean corruption.
+func isPlanContentError(err error) bool {
+	if err == nil {
+		return true
+	}
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	return !errors.As(err, &syn) && !errors.As(err, &typ)
+}
+
+func syncParentDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

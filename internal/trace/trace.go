@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/wal"
 )
 
 // Recorder is a fixed-capacity ring buffer of attempt events implementing
@@ -63,6 +64,11 @@ type Recorder struct {
 	spinNs    atomic.Uint64
 	yieldNs   atomic.Uint64
 	parkNs    atomic.Uint64
+
+	// walStats, when set, is polled at Summary time for the attached redo
+	// log's counters (see SetWALStatsSource) — the durability picture next
+	// to the abort mix.
+	walStats atomic.Pointer[func() (wal.Stats, bool)]
 }
 
 // NewRecorder creates a recorder keeping the last capacity events
@@ -232,5 +238,25 @@ func (r *Recorder) Summary() string {
 		fmt.Fprintf(&b, "  wait time: spin %v, yield %v, park %v\n",
 			time.Duration(s), time.Duration(y), time.Duration(p))
 	}
+	if src := r.walStats.Load(); src != nil {
+		if ws, ok := (*src)(); ok && ws.Appends > 0 {
+			perGroup := float64(ws.GroupedRecords)
+			if ws.GroupCommits > 0 {
+				perGroup /= float64(ws.GroupCommits)
+			}
+			fmt.Fprintf(&b, "  wal: %d appends (%d bytes), %d fsyncs, %.1f records/group, %d sync waits (%d parked)\n",
+				ws.Appends, ws.AppendedBytes, ws.Fsyncs, perGroup, ws.SyncWaits, ws.SyncParks)
+		}
+	}
 	return b.String()
+}
+
+// SetWALStatsSource installs (or with nil removes) a poll function for
+// the redo log's counters; when set, Summary appends a "wal:" line.
+func (r *Recorder) SetWALStatsSource(fn func() (wal.Stats, bool)) {
+	if fn == nil {
+		r.walStats.Store(nil)
+		return
+	}
+	r.walStats.Store(&fn)
 }

@@ -1,6 +1,7 @@
 package tuning
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -139,7 +140,7 @@ func TestSpinBudgetGrowsOnNonEscalatingLockAborts(t *testing.T) {
 				tx.Store(a, 1)
 				return nil
 			}, core.MaxAttempts(1))
-			if err != core.ErrMaxAttempts {
+			if !errors.Is(err, core.ErrMaxAttempts) {
 				t.Fatalf("contender attempt %d: err = %v, want ErrMaxAttempts", i, err)
 			}
 		}

@@ -1,0 +1,126 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+)
+
+// Crashpoint names an injection site in the durability path. When armed
+// (SetCrashpoint or the WAL_CRASHPOINT environment variable), reaching the
+// site SIGKILLs the process — not os.Exit, so no deferred cleanup, no
+// flushes, nothing: the closest a test harness gets to a power failure.
+// Each site sits on a distinct edge of the crash-consistency argument:
+//
+//	mid-append:         half of a group's encoded bytes reach the file — a
+//	                    torn frame recovery must detect and truncate.
+//	pre-fsync:          bytes written but not fsynced — the OS may keep or
+//	                    drop them; either outcome must recover.
+//	post-fsync-pre-ack: durable but unacknowledged — the commit must
+//	                    survive even though no Sync caller saw it ack.
+//	mid-checkpoint:     a partial checkpoint temp file — the rename never
+//	                    happened, so recovery must ignore it.
+//	mid-truncate:       segment retirement interrupted between unlinks —
+//	                    the remaining contiguous suffix must still recover.
+type Crashpoint int32
+
+const (
+	// CrashNone disarms injection (the default).
+	CrashNone Crashpoint = iota
+	// CrashMidAppend kills after writing half of a group's bytes.
+	CrashMidAppend
+	// CrashPreFsync kills after the group write, before its fsync.
+	CrashPreFsync
+	// CrashPostFsyncPreAck kills after fsync, before publishing the
+	// durable watermark that acknowledges Sync commits.
+	CrashPostFsyncPreAck
+	// CrashMidCheckpoint kills midway through writing the checkpoint
+	// temp file, before the atomic rename.
+	CrashMidCheckpoint
+	// CrashMidTruncate kills between segment unlinks during checkpoint
+	// truncation.
+	CrashMidTruncate
+)
+
+var crashpointNames = map[string]Crashpoint{
+	"mid-append":         CrashMidAppend,
+	"pre-fsync":          CrashPreFsync,
+	"post-fsync-pre-ack": CrashPostFsyncPreAck,
+	"mid-checkpoint":     CrashMidCheckpoint,
+	"mid-truncate":       CrashMidTruncate,
+}
+
+// String returns the flag/env spelling of the crash point.
+func (p Crashpoint) String() string {
+	for name, v := range crashpointNames {
+		if v == p {
+			return name
+		}
+	}
+	return "none"
+}
+
+// ParseCrashpoint maps a flag/env spelling ("mid-append", "pre-fsync",
+// "post-fsync-pre-ack", "mid-checkpoint", "mid-truncate", "none") to its
+// Crashpoint.
+func ParseCrashpoint(s string) (Crashpoint, error) {
+	if s == "" || s == "none" {
+		return CrashNone, nil
+	}
+	if p, ok := crashpointNames[s]; ok {
+		return p, nil
+	}
+	return CrashNone, fmt.Errorf("wal: unknown crash point %q", s)
+}
+
+var (
+	armedPoint atomic.Int32
+	// armedSkip counts down: the crash fires on the encounter that takes
+	// the counter below zero, so skip=N survives the first N encounters.
+	armedSkip atomic.Int64
+)
+
+// SetCrashpoint arms (or with CrashNone disarms) fault injection: the
+// process SIGKILLs itself on the skip+1'th time the durability path
+// reaches point. Tests arm it in a child process via the WAL_CRASHPOINT
+// and WAL_CRASHPOINT_SKIP environment variables, which init reads.
+func SetCrashpoint(point Crashpoint, skip int) {
+	armedSkip.Store(int64(skip))
+	armedPoint.Store(int32(point))
+}
+
+func init() {
+	s := os.Getenv("WAL_CRASHPOINT")
+	if s == "" {
+		return
+	}
+	p, err := ParseCrashpoint(s)
+	if err != nil {
+		return // a typo must not arm anything
+	}
+	skip := 0
+	if v := os.Getenv("WAL_CRASHPOINT_SKIP"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			skip = n
+		}
+	}
+	SetCrashpoint(p, skip)
+}
+
+// hit reports whether an armed crash point fires at this encounter. The
+// caller performs any site-specific half-work (e.g. the mid-append
+// partial write) and then calls kill.
+func hit(point Crashpoint) bool {
+	if Crashpoint(armedPoint.Load()) != point {
+		return false
+	}
+	return armedSkip.Add(-1) < 0
+}
+
+// crash performs site-independent injection: fire-and-die at point.
+func crash(point Crashpoint) {
+	if hit(point) {
+		kill()
+	}
+}

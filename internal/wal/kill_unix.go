@@ -1,0 +1,15 @@
+//go:build unix
+
+package wal
+
+import "syscall"
+
+// kill terminates the process with SIGKILL: uncatchable, no deferred
+// functions, no buffered writes — the in-process stand-in for pulling the
+// plug. Used only by armed crash points (see Crashpoint).
+func kill() {
+	_ = syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+	// SIGKILL delivery can lag the syscall return on a loaded scheduler;
+	// never fall through into the post-crash-point code.
+	select {}
+}

@@ -1,0 +1,317 @@
+// Crash-torture harness for the durable redo log: the parent test forks
+// this test binary as a child workload process, SIGKILLs it at a random
+// moment (or lets an injected wal.Crashpoint kill it at a chosen point in
+// the append/fsync/checkpoint/truncate protocol), then recovers the heap
+// from the surviving directory and checks the two durability invariants:
+//
+//  1. conservation — transfers move value between accounts, so the sum
+//     of all balances recovered after ANY crash equals the initial total;
+//  2. no acked loss — every commit a DurabilitySync Run acknowledged
+//     (recorded by the child in an O_APPEND ack file only AFTER Run
+//     returned) is present in the recovered heap.
+//
+// The round count is WAL_TORTURE_ROUNDS (default 10, -short 4); CI runs a
+// longer sweep. Every round reuses one directory, so recovery is also
+// exercised against logs that have survived many previous crashes,
+// checkpoints and truncations.
+package wal_test
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/stm"
+)
+
+const (
+	tortureAccounts = 32
+	tortureWorkers  = 4
+	tortureBalance  = 1000
+	tortureSite     = "torture.cells"
+)
+
+func tortureRuntime(t *testing.T, dir string) *stm.Runtime {
+	t.Helper()
+	rt, err := stm.New(stm.Config{
+		HeapWords:  1 << 16,
+		BlockShift: 8,
+		WAL: &stm.WALConfig{
+			Dir:                 dir,
+			Durability:          stm.DurabilitySync,
+			GroupCommitInterval: 100 * time.Microsecond,
+		},
+	})
+	if err != nil {
+		t.Fatalf("New over %s: %v", dir, err)
+	}
+	return rt
+}
+
+// tortureMeta round-trips the heap layout through a file so the child and
+// later rounds never assume address determinism.
+func writeTortureMeta(dir string, base stm.Addr) error {
+	return os.WriteFile(filepath.Join(dir, "meta"),
+		[]byte(fmt.Sprintf("%d %d %d\n", base, tortureAccounts, tortureWorkers)), 0o666)
+}
+
+func readTortureMeta(dir string) (base stm.Addr, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, "meta"))
+	if err != nil {
+		return 0, err
+	}
+	var n, w int
+	var b uint64
+	if _, err := fmt.Sscanf(string(data), "%d %d %d", &b, &n, &w); err != nil {
+		return 0, err
+	}
+	if n != tortureAccounts || w != tortureWorkers {
+		return 0, fmt.Errorf("meta mismatch: %d/%d accounts, %d/%d workers", n, tortureAccounts, w, tortureWorkers)
+	}
+	return stm.Addr(b), nil
+}
+
+func TestWALTorture(t *testing.T) {
+	if os.Getenv("WAL_TORTURE_CHILD") != "" {
+		t.Skip("parent test skipped inside torture child")
+	}
+	rounds := 10
+	if v := os.Getenv("WAL_TORTURE_ROUNDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("WAL_TORTURE_ROUNDS=%q: %v", v, err)
+		}
+		rounds = n
+	} else if testing.Short() {
+		rounds = 4
+	}
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1))
+
+	// Round 0 setup: one durable runtime seeds the accounts (first
+	// tortureAccounts cells) and the per-worker ack counters (next
+	// tortureWorkers cells), then closes gracefully.
+	rt := tortureRuntime(t, dir)
+	var base stm.Addr
+	if err := rt.Run(func(tx *stm.Tx) error {
+		base = tx.Alloc(rt.RegisterSite(tortureSite), tortureAccounts+tortureWorkers)
+		for i := 0; i < tortureAccounts; i++ {
+			tx.Store(base+stm.Addr(i), tortureBalance)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTortureMeta(dir, base); err != nil {
+		t.Fatal(err)
+	}
+	const total = tortureAccounts * tortureBalance
+
+	// Crash-point schedule: plain SIGKILL rounds interleaved with every
+	// injected protocol point.
+	crashpoints := []string{
+		"", "mid-append", "", "pre-fsync", "post-fsync-pre-ack",
+		"", "mid-checkpoint", "mid-truncate",
+	}
+	ackPath := filepath.Join(dir, "ack")
+
+	for round := 0; round < rounds; round++ {
+		os.Remove(ackPath)
+		cp := crashpoints[round%len(crashpoints)]
+
+		cmd := exec.Command(os.Args[0], "-test.run", "^TestWALTortureChild$", "-test.timeout", "60s")
+		cmd.Env = append(os.Environ(),
+			"WAL_TORTURE_CHILD=1",
+			"WAL_TORTURE_DIR="+dir,
+		)
+		if cp != "" {
+			cmd.Env = append(cmd.Env,
+				"WAL_CRASHPOINT="+cp,
+				fmt.Sprintf("WAL_CRASHPOINT_SKIP=%d", rng.Intn(20)),
+			)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("round %d: starting child: %v", round, err)
+		}
+		// Let the workload run, then SIGKILL. Crash-point rounds usually
+		// die on their own first; the timer is the backstop when the
+		// armed point is never reached.
+		wait := time.Duration(5+rng.Intn(55)) * time.Millisecond
+		if cp != "" {
+			wait = 2 * time.Second
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(wait):
+			cmd.Process.Kill()
+			<-done
+		}
+
+		// Recover and check the invariants.
+		maxAck := readAcks(t, ackPath)
+		rt2 := tortureRuntime(t, dir)
+		b2, err := readTortureMeta(dir)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := rt2.Run(func(tx *stm.Tx) error {
+			var sum uint64
+			for i := 0; i < tortureAccounts; i++ {
+				sum += tx.Load(b2 + stm.Addr(i))
+			}
+			if sum != total {
+				t.Errorf("round %d (%s): recovered sum %d, want %d — conservation violated", round, cpName(cp), sum, total)
+			}
+			for w := 0; w < tortureWorkers; w++ {
+				got := tx.Load(b2 + stm.Addr(tortureAccounts+w))
+				if got < maxAck[w] {
+					t.Errorf("round %d (%s): worker %d counter %d < acked %d — Sync-acked commit lost",
+						round, cpName(cp), w, got, maxAck[w])
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("round %d: verify: %v", round, err)
+		}
+		// Keep the directory evolving: occasional checkpoints bound the
+		// log, and post-recovery commits prove the log accepts traffic.
+		if round%3 == 1 {
+			if _, err := rt2.Checkpoint(); err != nil {
+				t.Errorf("round %d: checkpoint: %v", round, err)
+			}
+		}
+		if err := rt2.Run(func(tx *stm.Tx) error {
+			i, j := stm.Addr(round%tortureAccounts), stm.Addr((round+9)%tortureAccounts)
+			tx.Store(b2+i, tx.Load(b2+i)-3)
+			tx.Store(b2+j, tx.Load(b2+j)+3)
+			return nil
+		}); err != nil {
+			t.Fatalf("round %d: post-recovery commit: %v", round, err)
+		}
+		if err := rt2.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}
+
+func cpName(cp string) string {
+	if cp == "" {
+		return "sigkill"
+	}
+	return cp
+}
+
+func readAcks(t *testing.T, path string) [tortureWorkers]uint64 {
+	t.Helper()
+	var max [tortureWorkers]uint64
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return max // child died before any ack; nothing to hold it to
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue // torn final line from the kill
+		}
+		var w int
+		var n uint64
+		if _, err := fmt.Sscanf(line, "%d %d", &w, &n); err != nil {
+			continue // torn final line
+		}
+		if w >= 0 && w < tortureWorkers && n > max[w] {
+			max[w] = n
+		}
+	}
+	return max
+}
+
+// TestWALTortureChild is the forked workload process: transfer traffic
+// from several workers under DurabilitySync, acking each commit to the
+// ack file only after Run returns. It never exits on its own within the
+// parent's kill window; crash points injected via WAL_CRASHPOINT die
+// inside the wal package.
+func TestWALTortureChild(t *testing.T) {
+	dir := os.Getenv("WAL_TORTURE_DIR")
+	if os.Getenv("WAL_TORTURE_CHILD") == "" || dir == "" {
+		t.Skip("torture child runs only under TestWALTorture")
+	}
+	base, err := readTortureMeta(dir)
+	if err != nil {
+		t.Fatalf("meta: %v", err)
+	}
+	rt := tortureRuntime(t, dir)
+	ack, err := os.OpenFile(filepath.Join(dir, "ack"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < tortureWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)*7919 + int64(os.Getpid())))
+			for n := uint64(1); ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := stm.Addr(r.Intn(tortureAccounts))
+				j := stm.Addr(r.Intn(tortureAccounts))
+				amt := uint64(r.Intn(50))
+				if err := rt.Run(func(tx *stm.Tx) error {
+					tx.Store(base+i, tx.Load(base+i)-amt)
+					tx.Store(base+j, tx.Load(base+j)+amt)
+					tx.Store(base+stm.Addr(tortureAccounts+w), n)
+					return nil
+				}); err != nil {
+					return
+				}
+				// Only now is the commit acked as durable: a single
+				// O_APPEND write keeps concurrent workers' lines whole.
+				fmt.Fprintf(ack, "%d %d\n", w, n)
+			}
+		}(w)
+	}
+	// Checkpoint pressure so mid-checkpoint/mid-truncate points can fire
+	// and so recovery sees every directory shape.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				rt.Checkpoint()
+			}
+		}
+	}()
+
+	// Watchdog: the parent kills this process long before 10s; exiting
+	// cleanly is also a legal outcome for the invariants.
+	time.Sleep(10 * time.Second)
+	close(stop)
+	wg.Wait()
+}

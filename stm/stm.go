@@ -130,6 +130,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/tuning"
+	"repro/internal/wal"
 )
 
 // Re-exported types: the facade keeps one import path for users while the
@@ -195,9 +196,16 @@ type (
 	LatencyStats = stats.HistSnapshot
 )
 
-// ErrMaxAttempts is returned by Thread.Run when a MaxAttempts budget is
-// exhausted before the transaction commits.
+// ErrMaxAttempts is the sentinel matched (via errors.Is) by the error Run
+// returns when a MaxAttempts budget is exhausted before the transaction
+// commits. The concrete error is a *MaxAttemptsError carrying the final
+// abort cause.
 var ErrMaxAttempts = core.ErrMaxAttempts
+
+// MaxAttemptsError is the concrete error returned on an exhausted
+// MaxAttempts budget: errors.As gives access to the attempt count and the
+// last attempt's abort cause.
+type MaxAttemptsError = core.MaxAttemptsError
 
 // ReadOnly marks a Run transaction read-only: it takes the read-only fast
 // path, and transparently restarts in update mode if it writes.
@@ -310,6 +318,12 @@ type Config struct {
 	// one histogram increment per touched partition when on); can also be
 	// toggled live with Runtime.SetLatencyTracking.
 	LatencyStats bool
+	// WAL, when non-nil, makes the heap durable: commits tee their write
+	// sets into a group-committed redo log in WAL.Dir, and New recovers
+	// the heap from the directory's checkpoint and log tail before
+	// returning (Runtime.Recovery reports what it found). See WALConfig
+	// in wal.go.
+	WAL *WALConfig
 }
 
 // Runtime owns the heap, the STM engine, the partition analyzer and the
@@ -320,6 +334,8 @@ type Runtime struct {
 	analyzer *partition.Analyzer
 	tuner    *tuning.Tuner
 	baseCfg  PartConfig
+	wal      *wal.Log
+	recovery *RecoveryInfo
 }
 
 // New creates a runtime.
@@ -363,6 +379,11 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if cfg.LatencyStats {
 		rt.eng.SetLatencyTracking(true)
+	}
+	if cfg.WAL != nil {
+		if err := rt.attachWAL(cfg.WAL); err != nil {
+			return nil, err
+		}
 	}
 	return rt, nil
 }
@@ -472,6 +493,13 @@ func (r *Runtime) UnPartition() error {
 // initial configs) as reviewable JSON. Reload it in a later run with
 // LoadAndInstallPlan to warm-start partitioning and tuning.
 func (r *Runtime) SavePlan(w io.Writer, p *Plan) error {
+	return p.Save(w, r.arena.Sites(), r.currentConfigs(p))
+}
+
+// currentConfigs collects each partition's live engine configuration,
+// falling back to the plan's initial config where the engine has no such
+// partition.
+func (r *Runtime) currentConfigs(p *Plan) []PartConfig {
 	configs := make([]PartConfig, 0, p.NumPartitions())
 	for id := 0; id < p.NumPartitions(); id++ {
 		if eng := r.eng.Partition(PartID(id)); eng != nil {
@@ -480,7 +508,7 @@ func (r *Runtime) SavePlan(w io.Writer, p *Plan) error {
 			configs = append(configs, p.Configs[id])
 		}
 	}
-	return p.Save(w, r.arena.Sites(), configs)
+	return configs
 }
 
 // LoadAndInstallPlan reads a plan saved by SavePlan, rebinds it to the
@@ -488,6 +516,36 @@ func (r *Runtime) SavePlan(w io.Writer, p *Plan) error {
 // installs it. It returns the loaded plan.
 func (r *Runtime) LoadAndInstallPlan(rd io.Reader) (*Plan, error) {
 	p, err := partition.LoadPlan(rd, r.arena.Sites(), r.baseCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.InstallPlan(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ErrCorruptPlan marks a plan file that failed integrity validation (torn
+// write, bit rot). Warm-start code should treat it like a missing file —
+// fall back to a cold start — via errors.Is(err, ErrCorruptPlan).
+var ErrCorruptPlan = partition.ErrCorruptPlan
+
+// SavePlanFile is SavePlan straight to a file, written atomically
+// (checksummed temp file, fsync, rename, directory fsync): a crash during
+// the save leaves the previous plan file intact, and a torn or rotted
+// file is rejected by LoadAndInstallPlanFile as ErrCorruptPlan instead of
+// being half-parsed.
+func (r *Runtime) SavePlanFile(path string, p *Plan) error {
+	configs := r.currentConfigs(p)
+	return p.SaveFile(path, r.arena.Sites(), configs)
+}
+
+// LoadAndInstallPlanFile reads a plan written by SavePlanFile (or a plain
+// SavePlan file), validates its checksum, installs it, and returns it. A
+// missing file surfaces os.ErrNotExist and a damaged one ErrCorruptPlan;
+// warm-start callers typically treat both as "no plan yet".
+func (r *Runtime) LoadAndInstallPlanFile(path string) (*Plan, error) {
+	p, err := partition.LoadPlanFile(path, r.arena.Sites(), r.baseCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -563,6 +621,9 @@ func (r *Runtime) TunerTrace() []TunerDecision {
 // after StopTracing; tracing adds one atomic pointer load per attempt.
 func (r *Runtime) StartTracing(capacity int) *TraceRecorder {
 	rec := trace.NewRecorder(capacity)
+	if r.wal != nil {
+		rec.SetWALStatsSource(r.WALStats)
+	}
 	r.eng.SetTracer(rec)
 	return rec
 }
