@@ -630,13 +630,17 @@ func (e *Engine) run(th *Thread, cfg runCfg, fn func(*Tx) error) error {
 		}
 		switch {
 		case cause == AbortNone && userErr == nil:
-			if tx.walSeq != 0 {
+			if box := tx.walDst; box != nil && box.sync {
 				// Sync durability: park until this commit's redo record is
 				// fsynced. The transaction has fully finished (locks
 				// released, gate exited), so waiting here stalls only this
-				// caller, never the protocol.
-				if box := e.walState.Load(); box != nil && box.sync {
-					box.log.WaitDurable(tx.walSeq)
+				// caller, never the protocol. When the record cannot become
+				// durable — the log was already down at publish time
+				// (walSeq 0), or died or closed before the fsync — the
+				// commit has still applied in memory, and that divergence
+				// must surface as ErrNotDurable, never as a silent nil.
+				if tx.walSeq == 0 || !box.log.WaitDurable(tx.walSeq) {
+					return &NotDurableError{Seq: tx.walSeq}
 				}
 			}
 			return nil

@@ -172,10 +172,15 @@ type Tx struct {
 	histBufs    []*mvstore.Buffer
 
 	// Redo-log scratch (wal.go): the record built under this commit's
-	// write locks and the log sequence it claimed (0 when nothing was
-	// published — read-only attempt, no log attached, or log shut down).
+	// write locks, the log sequence it claimed (0 when nothing was
+	// published — read-only attempt, no log attached, or log shut down),
+	// and the attached log state the write set teed into (nil when this
+	// attempt had nothing to publish). walDst is what Run's post-commit
+	// durability wait keys off, so a Sync commit whose record never
+	// becomes durable surfaces as ErrNotDurable instead of nil.
 	walOps []wal.Op
 	walSeq uint64
+	walDst *walBox
 }
 
 func (tx *Tx) init(e *Engine, th *Thread) {
@@ -219,6 +224,7 @@ func (tx *Tx) begin(readOnly, snap bool) {
 	tx.reclaimedWords = 0
 	tx.durationNs = 0
 	tx.walSeq = 0
+	tx.walDst = nil
 	tx.timed = tx.eng.latency.Load() || tx.eng.tracer.Load() != nil
 	if tx.timed {
 		tx.attemptStart = time.Now()

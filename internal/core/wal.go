@@ -1,9 +1,38 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+
 	"repro/internal/memory"
 	"repro/internal/wal"
 )
+
+// ErrNotDurable is the sentinel matched (via errors.Is) by the error Run
+// returns when a commit under Sync durability applied in memory but its
+// redo record never became durable: the log was already dead or closed
+// when the commit published, or died (flusher I/O error, Abandon, Close)
+// before the record was fsynced. The heap mutation is NOT rolled back —
+// memory is ahead of the log — so the caller must treat the commit as
+// applied-but-unacknowledged: it may or may not survive a crash.
+var ErrNotDurable = errors.New("core: commit applied in memory but its redo record is not durable")
+
+// NotDurableError is the concrete error behind ErrNotDurable.
+type NotDurableError struct {
+	// Seq is the log sequence the commit claimed, or 0 when the log
+	// refused the publish outright (already dead or closed).
+	Seq uint64
+}
+
+func (e *NotDurableError) Error() string {
+	if e.Seq == 0 {
+		return "core: commit applied in memory but the redo log was down at publish time"
+	}
+	return fmt.Sprintf("core: commit applied in memory but its redo record (seq %d) is not durable", e.Seq)
+}
+
+// Is makes errors.Is(err, ErrNotDurable) succeed on a *NotDurableError.
+func (e *NotDurableError) Is(target error) bool { return target == ErrNotDurable }
 
 // walBox pairs the engine's attached redo log with its durability mode
 // (one atomic pointer load per commit when attached, one nil check when
@@ -61,6 +90,10 @@ func (tx *Tx) teeWAL() {
 	if box == nil || len(tx.ws) == 0 {
 		return
 	}
+	// Remember the exact log/mode this commit tees into: Run's
+	// post-commit durability wait keys off it, so a concurrent SetWAL
+	// cannot change which commits owe a durability promise.
+	tx.walDst = box
 	ver := tx.commitWV[0]
 	if tx.pl {
 		for _, wv := range tx.commitWV {

@@ -234,36 +234,42 @@ func scanSegments(dir string) ([]segmentInfo, error) {
 // header), calling fn per validated frame payload. It returns the number
 // of valid payload bytes consumed (for torn-tail truncation) and, when
 // the tail failed validation, a description of the tear; err is non-nil
-// only for I/O-level problems.
+// for I/O-level problems and when the failed tail is provably mid-log
+// corruption rather than a tear.
 func walkFrames(data []byte, fn func(payload []byte) error) (valid int, torn string, err error) {
 	off := 0
+	// tornAt classifies the invalid bytes at off. A torn group write
+	// leaves only trailing garbage: nothing after a half-written frame
+	// can be a completed write. So an invalid frame FOLLOWED by a frame
+	// that validates is mid-log corruption (bit rot, external damage) —
+	// refuse to repair rather than silently drop committed records. The
+	// search is byte-granular: the corrupt frame's own length field may
+	// be the damaged bytes, so it cannot be trusted to locate the next
+	// frame boundary.
+	tornAt := func(reason string) (int, string, error) {
+		if scanForValidFrame(data, off+1) {
+			return off, "", fmt.Errorf("wal: invalid frame at offset %d (%s) is followed by valid frames — mid-log corruption, not a torn tail", off, reason)
+		}
+		return off, reason, nil
+	}
 	for {
 		if off == len(data) {
 			return off, "", nil
 		}
 		if len(data)-off < frameHeaderSize {
-			return off, "short frame header", nil
+			return tornAt("short frame header")
 		}
 		n := int(binary.LittleEndian.Uint32(data[off:]))
 		crc := binary.LittleEndian.Uint32(data[off+4:])
 		if n == 0 || n > maxFramePayload {
-			return off, fmt.Sprintf("implausible frame length %d", n), nil
+			return tornAt(fmt.Sprintf("implausible frame length %d", n))
 		}
 		if len(data)-off-frameHeaderSize < n {
-			return off, "short frame payload", nil
+			return tornAt("short frame payload")
 		}
 		payload := data[off+frameHeaderSize : off+frameHeaderSize+n]
 		if crc32.Checksum(payload, castagnoli) != crc {
-			// A torn group write leaves only trailing garbage: nothing
-			// after a half-written frame can be a completed write. So a
-			// checksum-bad frame FOLLOWED by a frame that validates is
-			// mid-log corruption (bit rot, external damage) — refuse to
-			// repair rather than silently drop committed records.
-			rest := data[off+frameHeaderSize+n:]
-			if v, _, _ := walkFrames(rest, nil); v > 0 {
-				return off, "", fmt.Errorf("wal: checksum-bad frame at offset %d is followed by valid frames — mid-log corruption, not a torn tail", off)
-			}
-			return off, "frame checksum mismatch", nil
+			return tornAt("frame checksum mismatch")
 		}
 		if fn != nil {
 			if err := fn(payload); err != nil {
@@ -272,6 +278,31 @@ func walkFrames(data []byte, fn func(payload []byte) error) (valid int, torn str
 		}
 		off += frameHeaderSize + n
 	}
+}
+
+// scanForValidFrame reports whether data holds a complete frame —
+// plausible length, matching CRC32C, decodable payload — starting at any
+// byte offset >= from. Length fields are mostly implausible in garbage,
+// so the CRC is computed rarely; the full-payload checksum plus a clean
+// decode make an accidental match on torn-tail garbage vanishingly
+// unlikely, while a real surviving record past a damaged region is
+// always found no matter how the damage mangled earlier frame headers.
+func scanForValidFrame(data []byte, from int) bool {
+	for off := from; off+frameHeaderSize < len(data); off++ {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n == 0 || n > maxFramePayload || len(data)-off-frameHeaderSize < n {
+			continue
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+n]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+4:]) {
+			continue
+		}
+		if _, err := decodePayload(payload, nil); err != nil {
+			continue
+		}
+		return true
+	}
+	return false
 }
 
 // RecoveryInfo summarizes what Open found and repaired.
@@ -306,6 +337,7 @@ func recoverSegments(dir string, floor uint64) ([]segmentInfo, *RecoveryInfo, er
 	}
 	info := &RecoveryInfo{CheckpointSeq: floor, LastSeq: floor}
 	out := segs[:0]
+	var lastRecs uint64 // record count of the newest surviving segment
 	for i, seg := range segs {
 		last := i == len(segs)-1
 		data, err := os.ReadFile(seg.path)
@@ -362,7 +394,23 @@ func recoverSegments(dir string, floor uint64) ([]segmentInfo, *RecoveryInfo, er
 		if expect > start {
 			info.LastSeq = expect - 1
 		}
+		lastRecs = expect - start
 		out = append(out, seg)
+	}
+	// A valid but zero-record tail segment (graceful close with no
+	// traffic, or a crash right after rotation) is deleted rather than
+	// kept: Open recreates the active segment at LastSeq+1 — this
+	// segment's own name — and keeping the recovered entry too would put
+	// two entries for one path in the segment list, letting a later
+	// checkpoint's TruncateBefore count the duplicate as fully covered
+	// and unlink the file the flusher is actively writing. Only the tail
+	// can be empty: the start-sequence gap check above makes any two
+	// consecutive empty segments collide on the same name.
+	if n := len(out); n > 0 && lastRecs == 0 {
+		if err := os.Remove(out[n-1].path); err != nil {
+			return nil, nil, err
+		}
+		out = out[:n-1]
 	}
 	info.Segments = len(out)
 	if info.LastSeq < floor {

@@ -18,7 +18,9 @@
 //   - Sync:  a committing transaction additionally parks until the
 //     flusher's durable watermark passes its sequence (WaitDurable, a
 //     spin → yield → park escalation mirroring the engine's wait
-//     discipline). An acked Sync commit survives any crash.
+//     discipline). An acked Sync commit survives any crash; a commit the
+//     log cannot make durable (WaitDurable returning false) is reported
+//     to the caller by the engine (core.ErrNotDurable), never acked.
 //
 // Recovery (Open) validates every segment frame, truncates a torn tail
 // (the signature of dying mid-append), and replays the redo records past
@@ -410,8 +412,16 @@ func (l *Log) NoteCheckpoint() { l.stCkpts.Add(1) }
 func (l *Log) TruncateBefore(seq uint64) error {
 	l.segMu.Lock()
 	defer l.segMu.Unlock()
+	if len(l.segments) == 0 {
+		return nil
+	}
+	// The list's last entry is the active segment. Stopping the advance
+	// at its path (not just its index) keeps the flusher's file on disk
+	// even if the list ever aliased two entries to one path.
+	active := l.segments[len(l.segments)-1].path
 	keep := 0
-	for keep+1 < len(l.segments) && l.segments[keep+1].startSeq <= seq+1 {
+	for keep+1 < len(l.segments) && l.segments[keep+1].startSeq <= seq+1 &&
+		l.segments[keep].path != active {
 		keep++
 	}
 	// segments[0:keep] end strictly before segments[keep].startSeq <=

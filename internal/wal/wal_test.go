@@ -243,6 +243,133 @@ func TestTornTailEveryOffset(t *testing.T) {
 	}
 }
 
+// TestReopenEmptyLogThenTruncate is the duplicate-active-segment
+// regression: reopening a log whose newest segment holds zero records
+// (graceful close with no traffic) must not leave two segment-list
+// entries for one path — otherwise the first checkpoint's TruncateBefore
+// counts the duplicate as fully covered, unlinks the file the flusher is
+// actively writing, and every later record (Sync-acked included) dies
+// with it on the next restart.
+func TestReopenEmptyLogThenTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := openTest(t, dir, Options{})
+	publishN(t, l2, 1, 3)
+	if !l2.WaitDurable(3) {
+		t.Fatal("WaitDurable(3) = false")
+	}
+	if err := l2.TruncateBefore(0); err != nil {
+		t.Fatalf("TruncateBefore: %v", err)
+	}
+	if segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg")); len(segs) != 1 {
+		t.Fatalf("got %d segment files after TruncateBefore, want 1 (active segment removed?)", len(segs))
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, dir, 0)
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(recs))
+	}
+}
+
+// TestReopenReusesEmptyTailSegment: repeated crash/reopen cycles with no
+// traffic in between must not accumulate (or duplicate) empty tail
+// segments — each reopen drops the previous empty active segment and
+// recreates it under the same name.
+func TestReopenReusesEmptyTailSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	publishN(t, l, 1, 5)
+	if !l.WaitDurable(5) {
+		t.Fatal("WaitDurable(5) = false")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		l2, info := openTest(t, dir, Options{})
+		if info.LastSeq != 5 {
+			t.Fatalf("reopen %d: LastSeq = %d, want 5", i, info.LastSeq)
+		}
+		l2.Abandon()
+	}
+	// wal-…1.seg with the five records plus one fresh active segment.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 2 {
+		t.Fatalf("got %d segment files after repeated reopens, want 2: %v", len(segs), segs)
+	}
+	if recs := collect(t, dir, 0); len(recs) != 5 {
+		t.Fatalf("recovered %d records, want 5", len(recs))
+	}
+}
+
+// TestCorruptLengthMidLogFails: corrupting a frame's LENGTH field (not
+// its payload) in the middle of the log must still be detected as
+// mid-log corruption — the search for surviving later frames cannot
+// trust the corrupt length to find the next frame boundary.
+func TestCorruptLengthMidLogFails(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	publishN(t, l, 1, 5)
+	if !l.WaitDurable(5) {
+		t.Fatal("WaitDurable")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	data, _ := os.ReadFile(segs[0])
+	// Bump record 1's length: the claimed payload end no longer lands on
+	// the next frame boundary, so only a byte-granular scan can see that
+	// records 2..5 are intact.
+	n := binary.LittleEndian.Uint32(data[segHeaderSize:])
+	binary.LittleEndian.PutUint32(data[segHeaderSize:], n+1)
+	if err := os.WriteFile(segs[0], data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open silently truncated a log whose mid-stream length field was corrupted")
+	}
+}
+
+// TestCorruptLengthLastFrameIsTorn: the same length corruption on the
+// FINAL frame has no valid frames after it — indistinguishable from a
+// torn tail, so recovery must repair it, not fail.
+func TestCorruptLengthLastFrameIsTorn(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	publishN(t, l, 1, 3)
+	if !l.WaitDurable(3) {
+		t.Fatal("WaitDurable")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	data, _ := os.ReadFile(segs[0])
+	off := segHeaderSize
+	for i := 0; i < 2; i++ { // walk to record 3's frame
+		off += frameHeaderSize + int(binary.LittleEndian.Uint32(data[off:]))
+	}
+	n := binary.LittleEndian.Uint32(data[off:])
+	binary.LittleEndian.PutUint32(data[off:], n+1)
+	if err := os.WriteFile(segs[0], data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	l2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open refused a torn final frame: %v", err)
+	}
+	defer l2.Abandon()
+	if info.LastSeq != 2 || info.TornBytes == 0 {
+		t.Fatalf("recovery = %+v, want LastSeq 2 with a reported tear", info)
+	}
+}
+
 // TestCorruptMidLogFails: a checksum flip in the MIDDLE of the log (with
 // valid records after it) is real corruption, not a torn tail — recovery
 // must refuse rather than silently drop committed records.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/memory"
 	"repro/internal/wal"
 )
@@ -19,9 +20,23 @@ const (
 	// durable, so a crash can lose the last group-commit interval.
 	DurabilityAsync = wal.Async
 	// DurabilitySync additionally parks each committing Run until its
-	// record is fsynced: once Run returns, the commit survives any crash.
+	// record is fsynced: once Run returns nil, the commit survives any
+	// crash. A commit whose record cannot become durable (the log died or
+	// closed first) still applies in memory but surfaces as ErrNotDurable.
 	DurabilitySync = wal.Sync
 )
+
+// ErrNotDurable is the sentinel matched (via errors.Is) by the error Run
+// returns when a DurabilitySync commit applied in memory but its redo
+// record never became durable — the log was dead or closed at publish
+// time, or went down before the fsync. The heap mutation is not rolled
+// back; treat the commit as applied-but-unacknowledged. The concrete
+// error is a *NotDurableError.
+var ErrNotDurable = core.ErrNotDurable
+
+// NotDurableError is the concrete error behind ErrNotDurable, carrying
+// the log sequence the commit claimed (0 when the publish was refused).
+type NotDurableError = core.NotDurableError
 
 // WALConfig configures the durable redo log (Config.WAL).
 type WALConfig struct {
@@ -158,7 +173,8 @@ func (r *Runtime) Checkpoint() (online bool, err error) {
 
 // Close flushes and closes the redo log (no-op without Config.WAL). New
 // commits after Close are no longer logged; call it only once transaction
-// traffic has stopped.
+// traffic has stopped (a DurabilitySync Run racing Close can observe the
+// closed log and return ErrNotDurable).
 func (r *Runtime) Close() error {
 	if r.wal == nil {
 		return nil

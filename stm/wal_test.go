@@ -1,6 +1,7 @@
 package stm_test
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -212,6 +213,73 @@ func TestCheckpointTruncatesAndRecovers(t *testing.T) {
 		}
 		return nil
 	})
+}
+
+// TestSyncRunSurfacesNotDurable: once the log is dead (crash simulated
+// by Abandon), a DurabilitySync Run must not pretend its commit is
+// durable — the commit still applies in memory, but Run returns
+// ErrNotDurable instead of a silent nil ack.
+func TestSyncRunSurfacesNotDurable(t *testing.T) {
+	dir := t.TempDir()
+	rt := newDurableRuntime(t, dir, stm.DurabilitySync)
+	site := rt.RegisterSite("app.cell")
+	var a stm.Addr
+	if err := rt.Run(func(tx *stm.Tx) error {
+		a = tx.Alloc(site, 1)
+		tx.Store(a, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.WAL().Abandon() // crash: the log is gone, the heap is not
+
+	err := rt.Run(func(tx *stm.Tx) error {
+		tx.Store(a, 2)
+		return nil
+	})
+	if !errors.Is(err, stm.ErrNotDurable) {
+		t.Fatalf("update Run on a dead Sync log = %v, want ErrNotDurable", err)
+	}
+	var nde *stm.NotDurableError
+	if !errors.As(err, &nde) {
+		t.Fatalf("err = %T, want *NotDurableError", err)
+	}
+
+	// Reads make no durability promise: a Run that writes nothing still
+	// succeeds, and it must observe the applied-but-unacknowledged store.
+	var got uint64
+	if err := rt.Run(func(tx *stm.Tx) error {
+		got = tx.Load(a)
+		return nil
+	}); err != nil {
+		t.Fatalf("read-only Run on a dead Sync log: %v", err)
+	}
+	if got != 2 {
+		t.Fatalf("cell = %d, want 2 (the non-durable commit still applied in memory)", got)
+	}
+}
+
+// TestAsyncRunAfterCrashStaysSilent: DurabilityAsync never promised the
+// record was on disk, so a dead log must not turn commits into errors.
+func TestAsyncRunAfterCrashStaysSilent(t *testing.T) {
+	dir := t.TempDir()
+	rt := newDurableRuntime(t, dir, stm.DurabilityAsync)
+	site := rt.RegisterSite("app.cell")
+	var a stm.Addr
+	if err := rt.Run(func(tx *stm.Tx) error {
+		a = tx.Alloc(site, 1)
+		tx.Store(a, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.WAL().Abandon()
+	if err := rt.Run(func(tx *stm.Tx) error {
+		tx.Store(a, 2)
+		return nil
+	}); err != nil {
+		t.Fatalf("async Run after crash = %v, want nil", err)
+	}
 }
 
 // TestDurabilityOffHasNoLog: without Config.WAL the runtime must behave
