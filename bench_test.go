@@ -13,6 +13,7 @@ package repro_test
 
 import (
 	"fmt"
+	"net"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -21,9 +22,11 @@ import (
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/mvstore"
+	"repro/internal/server"
 	"repro/internal/wal"
 	"repro/internal/workload"
 	"repro/stm"
+	"repro/stmnet"
 	"repro/txds"
 )
 
@@ -773,4 +776,79 @@ func BenchmarkContendedCounter(b *testing.B) {
 	})
 	b.ReportMetric(res.Throughput, "ops/s")
 	b.ReportMetric(res.AbortRate, "abort-rate")
+}
+
+// BenchmarkNetPipelinedTxn is the network-path tail guard: a loopback
+// stmd-equivalent server driven open-loop (fixed 20k/s arrivals, 8
+// workers pipelining over 2 connections), each arrival one two-key
+// transfer batch through the full stack — client encode, TCP, frame
+// decode, pooled Run, response stream, client decode. As with
+// BenchmarkOpenLoopLatency the primary ns/op figure just tracks the
+// arrival interval; the guarded figure is the coordinated-omission-safe
+// p99-ns/op secondary metric diffed by cmd/benchdiff.
+func BenchmarkNetPipelinedTxn(b *testing.B) {
+	rt := stm.MustNew(stm.Config{HeapWords: 1 << 20, SnapshotHistory: 1 << 10})
+	srv, err := server.New(server.Config{Runtime: rt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer srv.Close()
+	addr := lis.Addr().String()
+
+	const nKeys = 64
+	key := func(k int) string { return fmt.Sprintf("acct:%d", k) }
+	setup, err := stmnet.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre := stmnet.NewBatch()
+	for k := 0; k < nKeys; k++ {
+		pre.Put(key(k), 1<<20)
+	}
+	if _, err := setup.Do(pre); err != nil {
+		b.Fatal(err)
+	}
+	setup.Close()
+
+	clients := make([]*stmnet.Client, 2)
+	for i := range clients {
+		if clients[i], err = stmnet.Dial(addr); err != nil {
+			b.Fatal(err)
+		}
+		defer clients[i].Close()
+	}
+
+	const rate = 20000.0
+	measure := time.Duration(float64(b.N) / rate * float64(time.Second))
+	b.ResetTimer()
+	res := bench.RunOpenLoopFunc(bench.OpenLoopConfig{
+		Threads: 8,
+		Rate:    rate,
+		Warmup:  5 * time.Millisecond,
+		Measure: measure,
+		Seed:    13,
+	}, func(worker int) (bench.RawOpFunc, func()) {
+		c := clients[worker%len(clients)]
+		return func(rng *workload.Rng, _ uint64) {
+			from := rng.Intn(nKeys)
+			to := (from + 1 + rng.Intn(nKeys-1)) % nKeys
+			d := uint64(rng.Intn(100) + 1)
+			if _, err := c.Do(stmnet.NewBatch().
+				Add(key(from), stmnet.Neg(d)).
+				Add(key(to), d)); err != nil {
+				b.Error(err)
+			}
+		}, nil
+	})
+	b.StopTimer()
+	if res.Ops == 0 {
+		b.Fatal("no measured ops")
+	}
+	b.ReportMetric(float64(res.Latency.Quantile(0.99)), "p99-ns/op")
+	b.ReportMetric(res.Achieved, "ops/s")
 }

@@ -1,0 +1,99 @@
+// Command stmd serves the transactional store over TCP.
+//
+// Usage:
+//
+//	stmd -addr :7437                          # volatile store
+//	stmd -addr :7437 -wal /var/lib/stmd -sync # durable: ack ⇒ fsynced
+//	stmd -addr :7437 -snapshot 0              # no snapshot-read history
+//
+// The daemon wraps one stm.Runtime behind the wire protocol (see
+// internal/wire): length-prefixed CRC-checked frames carrying batched
+// multi-key transactions, pipelined per connection. SIGINT/SIGTERM shut
+// down gracefully — stop accepting, drain in-flight transactions, then
+// close the runtime (flushing the redo log when one is attached).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/stm"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7437", "listen address")
+		heapWords = flag.Uint64("heap-words", 1<<22, "transactional heap size in 64-bit words")
+		arity     = flag.Int("arity", 8, "value vector size in words per key")
+		snapshot  = flag.Uint("snapshot", 1<<16, "snapshot history records per partition (0 disables abort-free read batches)")
+		maxAtt    = flag.Int("max-attempts", 64, "per-transaction retry budget (0 = unlimited)")
+		walDir    = flag.String("wal", "", "redo-log directory (empty = volatile)")
+		sync      = flag.Bool("sync", false, "with -wal: ack only after the commit's redo record is fsynced")
+		group     = flag.Duration("group-commit", 0, "with -wal: group-commit coalescing window (0 = library default)")
+		latency   = flag.Bool("latency", true, "track per-partition commit-latency histograms")
+	)
+	flag.Parse()
+
+	cfg := stm.Config{
+		HeapWords:       *heapWords,
+		SnapshotHistory: *snapshot,
+		LatencyStats:    *latency,
+	}
+	if *walDir != "" {
+		d := stm.DurabilityAsync
+		if *sync {
+			d = stm.DurabilitySync
+		}
+		cfg.WAL = &stm.WALConfig{Dir: *walDir, Durability: d, GroupCommitInterval: *group}
+	} else if *sync {
+		log.Fatal("stmd: -sync requires -wal")
+	}
+
+	rt, err := stm.New(cfg)
+	if err != nil {
+		log.Fatalf("stmd: runtime: %v", err)
+	}
+	if rec := rt.Recovery(); rec != nil {
+		log.Printf("stmd: recovered %+v", *rec)
+	}
+
+	srv, err := server.New(server.Config{
+		Runtime:     rt,
+		Arity:       *arity,
+		MaxAttempts: *maxAtt,
+	})
+	if err != nil {
+		log.Fatalf("stmd: %v", err)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("stmd: listening on %s (arity=%d, wal=%q, sync=%v)", *addr, *arity, *walDir, *sync)
+		errc <- srv.ListenAndServe(*addr)
+	}()
+
+	select {
+	case sig := <-sigc:
+		log.Printf("stmd: %v: draining and closing", sig)
+		start := time.Now()
+		if err := srv.Close(); err != nil {
+			log.Fatalf("stmd: close: %v", err)
+		}
+		st := srv.Stats()
+		log.Printf("stmd: closed in %v (%d conns served, %d txns, %d keys)",
+			time.Since(start).Round(time.Millisecond), st.Conns, st.Txns, st.Keys)
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmd: serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

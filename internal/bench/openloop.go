@@ -34,11 +34,29 @@ import (
 // themselves to each claim's due time, and run ops back-to-back when the
 // schedule is behind. Each worker records into its own histogram shard,
 // merged after the run.
+//
+// The schedule-drain core is RunOpenLoopFunc, which knows nothing about
+// the STM: its ops are plain closures, so the same harness (and the same
+// coordinated-omission discipline) drives in-process transactions and
+// remote ones over network connections (cmd/netbench). RunOpenLoop is
+// the *stm.Runtime wrapper, adding per-worker thread attachment and
+// partition-stats windowing.
 
 // IndexedOpFunc is one open-loop operation; i is the op's global arrival
 // index (0-based, dense), which deterministic fault-injection harnesses
 // can key on (e.g. "stall on arrival 5000").
 type IndexedOpFunc func(th *stm.Thread, rng *workload.Rng, i uint64)
+
+// RawOpFunc is one open-loop operation for harnesses that do not run over
+// an attached STM thread (e.g. a network client): same contract as
+// IndexedOpFunc minus the thread.
+type RawOpFunc func(rng *workload.Rng, i uint64)
+
+// WorkerSetup prepares one open-loop worker. It runs on the worker's own
+// goroutine before its first arrival and returns the worker's op plus a
+// teardown (either may close over per-worker state: an attached thread,
+// a network connection). teardown may be nil.
+type WorkerSetup func(worker int) (op RawOpFunc, teardown func())
 
 // OpenLoopConfig configures one open-loop run.
 type OpenLoopConfig struct {
@@ -53,6 +71,11 @@ type OpenLoopConfig struct {
 	Warmup  time.Duration
 	Measure time.Duration
 	Seed    uint64
+	// OnMeasureStart, when set, fires once at the warmup/measure
+	// boundary, concurrent with the workers (RunOpenLoop uses it to
+	// snapshot partition stats without stopping the run). It is
+	// guaranteed to have returned before RunOpenLoopFunc does.
+	OnMeasureStart func()
 }
 
 // OpenLoopResult is one open-loop run's measurements.
@@ -81,7 +104,8 @@ type OpenLoopResult struct {
 	Aborts    uint64
 	AbortRate float64
 	// PerPart holds per-partition deltas over the measured window
-	// (including any late drain of the backlog).
+	// (including any late drain of the backlog). Populated by
+	// RunOpenLoop only; RunOpenLoopFunc has no runtime to sample.
 	PerPart []core.PartStats
 }
 
@@ -91,12 +115,12 @@ func (r OpenLoopResult) String() string {
 		r.Offered, r.Achieved, r.Lag, r.Latency.Summary(), r.Service.Summary())
 }
 
-// RunOpenLoop drives an open-loop run: a fixed schedule of
+// RunOpenLoopFunc drives an open-loop run: a fixed schedule of
 // (Warmup+Measure)*Rate arrivals at 1/Rate spacing, drained by
 // cfg.Threads workers, with per-op latency measured from each arrival's
 // due time. The run ends when every scheduled arrival has been served —
 // possibly after the nominal window, if the system fell behind.
-func RunOpenLoop(rt *stm.Runtime, cfg OpenLoopConfig, op IndexedOpFunc) OpenLoopResult {
+func RunOpenLoopFunc(cfg OpenLoopConfig, setup WorkerSetup) OpenLoopResult {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 1
 	}
@@ -123,22 +147,23 @@ func RunOpenLoop(rt *stm.Runtime, cfg OpenLoopConfig, op IndexedOpFunc) OpenLoop
 	warmEnd := start.Add(cfg.Warmup)
 	deadline := warmEnd.Add(cfg.Measure)
 
-	// Snapshot partition stats at the warmup/measure boundary without
-	// stopping the workers.
-	var before []core.PartStats
 	boundary := make(chan struct{})
 	go func() {
+		defer close(boundary)
 		time.Sleep(time.Until(warmEnd))
-		before = rt.Stats()
-		close(boundary)
+		if cfg.OnMeasureStart != nil {
+			cfg.OnMeasureStart()
+		}
 	}()
 
 	for w := 0; w < cfg.Threads; w++ {
 		wg.Add(1)
 		go func(w int, seed uint64) {
 			defer wg.Done()
-			th := rt.MustAttach()
-			defer rt.Detach(th)
+			op, teardown := setup(w)
+			if teardown != nil {
+				defer teardown()
+			}
 			rng := workload.NewRng(seed)
 			for {
 				i := next.Add(1) - 1
@@ -148,7 +173,7 @@ func RunOpenLoop(rt *stm.Runtime, cfg OpenLoopConfig, op IndexedOpFunc) OpenLoop
 				due := start.Add(time.Duration(i) * interval)
 				pace(due)
 				t0 := time.Now()
-				op(th, rng, i)
+				op(rng, i)
 				end := time.Now()
 				if !due.Before(warmEnd) {
 					latShards[w].Record(uint64(end.Sub(due)))
@@ -161,7 +186,6 @@ func RunOpenLoop(rt *stm.Runtime, cfg OpenLoopConfig, op IndexedOpFunc) OpenLoop
 	wg.Wait()
 	finish := time.Now()
 	<-boundary
-	after := rt.Stats()
 
 	var lat, svc stats.Histogram
 	for i := range latShards {
@@ -181,6 +205,30 @@ func RunOpenLoop(rt *stm.Runtime, cfg OpenLoopConfig, op IndexedOpFunc) OpenLoop
 	if res.Elapsed > 0 {
 		res.Achieved = float64(res.Ops) / res.Elapsed.Seconds()
 	}
+	return res
+}
+
+// RunOpenLoop is RunOpenLoopFunc over an *stm.Runtime: each worker runs
+// with its own attached thread, and partition stats are windowed to the
+// measured interval (snapshot at the warmup/measure boundary without
+// stopping the workers, again after the drain).
+func RunOpenLoop(rt *stm.Runtime, cfg OpenLoopConfig, op IndexedOpFunc) OpenLoopResult {
+	var before []core.PartStats
+	userBoundary := cfg.OnMeasureStart
+	cfg.OnMeasureStart = func() {
+		before = rt.Stats()
+		if userBoundary != nil {
+			userBoundary()
+		}
+	}
+	res := RunOpenLoopFunc(cfg, func(worker int) (RawOpFunc, func()) {
+		th := rt.MustAttach()
+		return func(rng *workload.Rng, i uint64) {
+			op(th, rng, i)
+		}, func() { rt.Detach(th) }
+	})
+	after := rt.Stats()
+
 	n := min(len(after), len(before))
 	for i := 0; i < n; i++ {
 		d := after[i].Sub(before[i])

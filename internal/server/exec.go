@@ -1,0 +1,156 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+	"repro/stm"
+)
+
+// resolvedOp is one batch op with its key resolved to a heap address.
+type resolvedOp struct {
+	op   *wire.Op
+	addr stm.Addr // Nil only for a GET of a never-created key
+}
+
+// execTxn runs one TXN batch as a single transaction and builds its
+// response. Key resolution happens up front, outside the transaction
+// (interning write-class keys creates their zeroed objects in separate
+// commits); the batch transaction then touches only heap words, so the
+// retried closure is pure STM work and safe to re-run on abort.
+func (s *Server) execTxn(req *wire.TxnReq) *wire.TxnResp {
+	s.stat.Txns.Add(1)
+	s.stat.TxnOps.Add(uint64(len(req.Ops)))
+
+	ops := make([]resolvedOp, len(req.Ops))
+	for i := range req.Ops {
+		op := &req.Ops[i]
+		switch op.Code {
+		case wire.OpGet:
+			addr, ok := s.space.Lookup(op.Key)
+			if !ok {
+				addr = stm.Nil
+			}
+			ops[i] = resolvedOp{op: op, addr: addr}
+		case wire.OpPut:
+			if len(op.Vals) == 0 || len(op.Vals) > s.space.Arity() {
+				return s.badRequest(req.ID, fmt.Sprintf("op %d: PUT with %d vals (space arity %d)", i, len(op.Vals), s.space.Arity()))
+			}
+			fallthrough
+		case wire.OpAdd, wire.OpCAS:
+			addr, err := s.space.Intern(op.Key)
+			if err != nil {
+				return s.internalErr(req.ID, err)
+			}
+			ops[i] = resolvedOp{op: op, addr: addr}
+		default:
+			return s.badRequest(req.ID, fmt.Sprintf("op %d: unknown opcode %d", i, op.Code))
+		}
+	}
+
+	readOnly := req.ReadOnly()
+	snap := readOnly && !s.cfg.DisableSnapshotReads && req.Flags&wire.FlagUpdate == 0
+	if readOnly {
+		s.stat.ReadOnlyTxns.Add(1)
+	}
+	if snap {
+		s.stat.SnapshotTxns.Add(1)
+	}
+
+	arity := s.space.Arity()
+	results := make([]wire.Result, len(ops))
+	// One flat backing array for all GET vectors, rewritten per attempt.
+	getWords := make([]uint64, 0, len(ops)*arity)
+
+	opts := make([]stm.TxOpt, 0, 3)
+	if snap {
+		opts = append(opts, stm.Snapshot())
+	} else if readOnly {
+		opts = append(opts, stm.ReadOnly())
+	}
+	if s.cfg.MaxAttempts > 0 {
+		opts = append(opts, stm.MaxAttempts(s.cfg.MaxAttempts))
+	}
+	opts = append(opts, stm.OnAbort(func(cause stm.AbortCause, attempt int) {
+		s.stat.TxnAborts.Add(1)
+		if snap {
+			s.stat.SnapshotAborts.Add(1)
+		}
+	}))
+
+	err := s.rt.Run(func(tx *stm.Tx) error {
+		getWords = getWords[:0]
+		for i := range ops {
+			r := &ops[i]
+			res := &results[i]
+			switch r.op.Code {
+			case wire.OpGet:
+				if r.addr == stm.Nil {
+					res.Flag, res.Vals = false, nil
+					continue
+				}
+				getWords = append(getWords, make([]uint64, arity)...)
+				vals := getWords[len(getWords)-arity:]
+				tx.LoadWords(r.addr, vals)
+				res.Flag, res.Vals = true, vals
+			case wire.OpPut:
+				// Short PUTs zero the tail: a PUT always writes the whole
+				// fixed-arity vector.
+				vals := r.op.Vals
+				if len(vals) < arity {
+					vals = append(append(make([]uint64, 0, arity), vals...), make([]uint64, arity-len(r.op.Vals))...)
+				}
+				tx.StoreWords(r.addr, vals)
+				res.Flag, res.Vals = true, nil
+			case wire.OpAdd:
+				v := tx.Load(r.addr) + r.op.Delta
+				tx.Store(r.addr, v)
+				res.Flag, res.Vals = true, []uint64{v}
+			case wire.OpCAS:
+				v := tx.Load(r.addr)
+				if v == r.op.Expect {
+					tx.Store(r.addr, r.op.New)
+					res.Flag = true
+				} else {
+					res.Flag = false
+				}
+				res.Vals = []uint64{v}
+			}
+		}
+		return nil
+	}, opts...)
+	if err != nil {
+		return s.txnError(req.ID, err)
+	}
+	return &wire.TxnResp{ID: req.ID, Status: wire.StatusOK, Results: results}
+}
+
+// txnError maps a Run error onto its typed wire status. The concrete
+// error types cross the wire as codes plus their fields and are rebuilt
+// by the client, so errors.Is/errors.As work end to end.
+func (s *Server) txnError(id uint64, err error) *wire.TxnResp {
+	var ma *stm.MaxAttemptsError
+	if errors.As(err, &ma) {
+		return &wire.TxnResp{
+			ID:       id,
+			Status:   wire.StatusMaxAttempts,
+			Attempts: uint32(ma.Attempts),
+			Cause:    ma.Cause,
+		}
+	}
+	var nd *stm.NotDurableError
+	if errors.As(err, &nd) {
+		return &wire.TxnResp{ID: id, Status: wire.StatusNotDurable, Seq: nd.Seq}
+	}
+	return s.internalErr(id, err)
+}
+
+func (s *Server) badRequest(id uint64, msg string) *wire.TxnResp {
+	s.stat.BadRequests.Add(1)
+	return &wire.TxnResp{ID: id, Status: wire.StatusBadRequest, Msg: msg}
+}
+
+func (s *Server) internalErr(id uint64, err error) *wire.TxnResp {
+	return &wire.TxnResp{ID: id, Status: wire.StatusInternal, Msg: err.Error()}
+}

@@ -1,0 +1,431 @@
+// Package server puts the partitioned STM behind a TCP wire: a keyed
+// object space (string key → fixed-arity word vector, see KeySpace)
+// served over the internal/wire protocol with pipelined, batched
+// multi-key transactions.
+//
+// # Connection model
+//
+// Each accepted connection runs two goroutines. A reader decodes frames
+// and dispatches every TXN batch onto its own goroutine through the
+// pooled stm.Runtime.Run path — the runtime's 64-slot thread pool with
+// FIFO waiter handoff IS the server's admission control, so a burst of
+// ten thousand pipelined batches queues at the slot pool instead of
+// thundering into the engine. A writer streams encoded responses out of
+// a per-connection channel IN COMPLETION ORDER: a slow batch never
+// blocks the responses of faster batches pipelined behind it, and the
+// client reorders by request id.
+//
+// All-GET batches are dispatched in snapshot mode (stm.Snapshot()), so
+// heavy read traffic commits abort-free against any write load while
+// retention suffices; wire.FlagUpdate opts a batch out for
+// measurements. Write batches run as ordinary update transactions.
+//
+// # Durability of an acked response
+//
+// What a StatusOK TxnResp promises depends on the runtime's WAL mode:
+// under DurabilityOff it means "committed in memory"; under
+// DurabilityAsync "committed in memory, redo record queued" (a crash
+// can lose the last group-commit interval); under DurabilitySync the
+// response is written only after Run returns, i.e. after the commit's
+// record is fsynced — an acked response survives any crash. A commit
+// whose record could not become durable is reported as
+// StatusNotDurable, never silently acked.
+//
+// # Shutdown
+//
+// Close is graceful by construction: stop accepting, unblock every
+// reader, let all in-flight transactions finish and their responses
+// flush, and only then close the runtime's redo log — so a
+// DurabilitySync commit can never race the WAL teardown (stm/wal.go
+// documents that hazard).
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+	"repro/stm"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Runtime is the embedded STM runtime (required). The server owns
+	// its shutdown: Close drains in-flight transactions and then calls
+	// Runtime.Close (flushing the redo log, when one is attached).
+	Runtime *stm.Runtime
+	// SpaceName prefixes the keyed space's allocation sites. Default
+	// "kv".
+	SpaceName string
+	// Arity is the value vector size in words (1..wire.MaxArity).
+	// Default 8.
+	Arity int
+	// DirBuckets sizes the transactional key directory. Default 4096.
+	DirBuckets int
+	// MaxAttempts bounds each batch's retry loop; past it the batch
+	// fails with StatusMaxAttempts instead of retrying forever. 0 means
+	// unlimited (the default).
+	MaxAttempts int
+	// DisableSnapshotReads sends all-GET batches down the ordinary
+	// read-only path instead of snapshot mode.
+	DisableSnapshotReads bool
+	// WriteBuffer is the per-connection response channel depth (default
+	// 1024 frames).
+	WriteBuffer int
+}
+
+// serverStats holds the server's own counters (atomic mirrors of
+// wire.ServerStats).
+type serverStats struct {
+	Conns          atomic.Uint64
+	CurConns       atomic.Int64
+	Frames         atomic.Uint64
+	Txns           atomic.Uint64
+	TxnOps         atomic.Uint64
+	ReadOnlyTxns   atomic.Uint64
+	SnapshotTxns   atomic.Uint64
+	TxnAborts      atomic.Uint64
+	SnapshotAborts atomic.Uint64
+	BadRequests    atomic.Uint64
+}
+
+// closeWriteGrace bounds how long Close waits for a slow peer to drain
+// its pending responses before dropping them.
+const closeWriteGrace = 5 * time.Second
+
+// Server serves the keyed object space over a listener.
+type Server struct {
+	cfg   Config
+	rt    *stm.Runtime
+	space *KeySpace
+	stat  serverStats
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[*conn]struct{}
+	closing  bool
+	closed   chan struct{}
+	connWG   sync.WaitGroup // one per live connection
+	closeErr error
+	closeOne sync.Once
+}
+
+// New creates a server over cfg.Runtime (which must outlive it; the
+// server closes it on Close).
+func New(cfg Config) (*Server, error) {
+	if cfg.Runtime == nil {
+		return nil, fmt.Errorf("server: Config.Runtime is required")
+	}
+	if cfg.SpaceName == "" {
+		cfg.SpaceName = "kv"
+	}
+	if cfg.Arity == 0 {
+		cfg.Arity = 8
+	}
+	if cfg.Arity < 1 || cfg.Arity > wire.MaxArity {
+		return nil, fmt.Errorf("server: arity %d (want 1..%d)", cfg.Arity, wire.MaxArity)
+	}
+	if cfg.WriteBuffer <= 0 {
+		cfg.WriteBuffer = 1024
+	}
+	space, err := NewKeySpace(cfg.Runtime, cfg.SpaceName, cfg.Arity, cfg.DirBuckets)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:    cfg,
+		rt:     cfg.Runtime,
+		space:  space,
+		conns:  make(map[*conn]struct{}),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// Space exposes the keyed object space (for tests and embedding).
+func (s *Server) Space() *KeySpace { return s.space }
+
+// Runtime exposes the embedded runtime.
+func (s *Server) Runtime() *stm.Runtime { return s.rt }
+
+// ListenAndServe listens on addr (":7437"-style) and serves until
+// Close.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Serve accepts connections on lis until Close. It returns nil after a
+// graceful Close, or the first accept error otherwise.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		lis.Close()
+		return fmt.Errorf("server: Serve after Close")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// Addr returns the listener's address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Close shuts the server down gracefully: stop accepting, unblock every
+// connection's reader, wait for all in-flight transactions to finish
+// and their responses to flush, close the connections, and finally
+// close the runtime (flushing the redo log). Safe to call multiple
+// times and concurrently with Serve.
+func (s *Server) Close() error {
+	s.closeOne.Do(func() {
+		s.mu.Lock()
+		s.closing = true
+		lis := s.lis
+		live := make([]*conn, 0, len(s.conns))
+		for c := range s.conns {
+			live = append(live, c)
+		}
+		s.mu.Unlock()
+		if lis != nil {
+			lis.Close()
+		}
+		// Unblock every reader: a read past this deadline fails
+		// immediately, the reader sees closing==true and begins the
+		// drain (wait for in-flight, flush responses, close). Writes get
+		// a bounded grace so a peer that stopped reading cannot hang
+		// shutdown on TCP backpressure — its remaining responses drop.
+		for _, c := range live {
+			c.nc.SetReadDeadline(time.Now())
+			c.nc.SetWriteDeadline(time.Now().Add(closeWriteGrace))
+		}
+		s.connWG.Wait()
+		// No connection, no reader, no in-flight transaction: the redo
+		// log can tear down without racing a Sync commit.
+		s.closeErr = s.rt.Close()
+		close(s.closed)
+	})
+	<-s.closed
+	return s.closeErr
+}
+
+// Stats returns the server's own counters.
+func (s *Server) Stats() wire.ServerStats {
+	return wire.ServerStats{
+		Conns:          s.stat.Conns.Load(),
+		CurConns:       s.stat.CurConns.Load(),
+		Frames:         s.stat.Frames.Load(),
+		Txns:           s.stat.Txns.Load(),
+		TxnOps:         s.stat.TxnOps.Load(),
+		ReadOnlyTxns:   s.stat.ReadOnlyTxns.Load(),
+		SnapshotTxns:   s.stat.SnapshotTxns.Load(),
+		TxnAborts:      s.stat.TxnAborts.Load(),
+		SnapshotAborts: s.stat.SnapshotAborts.Load(),
+		BadRequests:    s.stat.BadRequests.Load(),
+		Keys:           uint64(s.space.Len()),
+		DirCollisions:  s.space.DirCollisions(),
+	}
+}
+
+// statsPayload assembles the full statistics snapshot served by the
+// STATS op.
+func (s *Server) statsPayload() *wire.StatsPayload {
+	p := &wire.StatsPayload{
+		Server:  s.Stats(),
+		Parts:   s.rt.Stats(),
+		Latency: s.rt.LatencyStats(),
+		Pool:    s.rt.PoolStats(),
+	}
+	if ws, ok := s.rt.WALStats(); ok {
+		p.WAL = &ws
+	}
+	return p
+}
+
+// conn is one accepted connection.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	// out carries encoded response frames to the writer; send() drops
+	// the frame instead when the connection is already tearing down.
+	out chan []byte
+	// done closes when the connection starts tearing down (write error
+	// or dead peer); senders blocked on a full out channel unblock and
+	// drop.
+	done     chan struct{}
+	doneOnce sync.Once
+	// inflight tracks dispatched request goroutines.
+	inflight sync.WaitGroup
+}
+
+// startConn registers and launches a connection.
+func (s *Server) startConn(nc net.Conn) {
+	c := &conn{
+		srv:  s,
+		nc:   nc,
+		out:  make(chan []byte, s.cfg.WriteBuffer),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.connWG.Add(1)
+	s.mu.Unlock()
+	s.stat.Conns.Add(1)
+	s.stat.CurConns.Add(1)
+
+	go c.writeLoop()
+	go c.readLoop()
+}
+
+// fail marks the connection dead so pending senders drop their frames.
+func (c *conn) fail() {
+	c.doneOnce.Do(func() { close(c.done) })
+}
+
+// send hands an encoded frame to the writer, dropping it when the
+// connection died first. Never blocks forever: a full out channel
+// resolves as soon as the writer drains or the connection fails.
+func (c *conn) send(frame []byte) {
+	select {
+	case c.out <- frame:
+	case <-c.done:
+	}
+}
+
+// readLoop decodes frames and dispatches requests until the peer hangs
+// up, a protocol error breaks the connection, or the server closes.
+// It then drains: every dispatched request finishes and its response is
+// flushed (or dropped, if the peer is gone) before the connection is
+// torn off the server.
+func (c *conn) readLoop() {
+	defer c.teardown()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var buf []byte
+	for {
+		payload, nbuf, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			// EOF, peer reset, Close's read deadline, or a protocol
+			// error: stop reading. Graceful drain happens in teardown.
+			return
+		}
+		buf = nbuf
+		c.srv.stat.Frames.Add(1)
+		switch wire.Kind(payload) {
+		case wire.KindTxnReq:
+			req, err := wire.DecodeTxnReq(payload)
+			if err != nil {
+				// Handshake-level garbage: answer nothing (the id is
+				// not trustworthy) and break the connection.
+				c.srv.stat.BadRequests.Add(1)
+				return
+			}
+			c.dispatch(func() []byte {
+				return wire.AppendFrame(nil, wire.AppendTxnResp(nil, c.srv.execTxn(req)))
+			})
+		case wire.KindStatsReq:
+			req, err := wire.DecodeStatsReq(payload)
+			if err != nil {
+				c.srv.stat.BadRequests.Add(1)
+				return
+			}
+			c.dispatch(func() []byte {
+				body, err := json.Marshal(c.srv.statsPayload())
+				if err != nil {
+					return wire.AppendFrame(nil, wire.AppendStatsResp(nil, req.ID, wire.StatusInternal, nil, err.Error()))
+				}
+				return wire.AppendFrame(nil, wire.AppendStatsResp(nil, req.ID, wire.StatusOK, body, ""))
+			})
+		default:
+			// Unknown kind: protocol error, break the connection.
+			c.srv.stat.BadRequests.Add(1)
+			return
+		}
+	}
+}
+
+// dispatch runs fn on its own goroutine and sends its response frame.
+// Concurrency control is the runtime's slot pool: dispatch never blocks
+// the reader, and Run's FIFO admission queue bounds engine pressure.
+func (c *conn) dispatch(fn func() []byte) {
+	c.inflight.Add(1)
+	go func() {
+		defer c.inflight.Done()
+		c.send(fn())
+	}()
+}
+
+// teardown drains the connection after the reader stopped: wait for
+// in-flight requests, close the response channel so the writer exits
+// after flushing, and unregister.
+func (c *conn) teardown() {
+	c.inflight.Wait()
+	close(c.out)
+	s := c.srv
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.stat.CurConns.Add(-1)
+	s.connWG.Done()
+}
+
+// writeLoop streams response frames in completion order, batching
+// flushes: it flushes only when the channel runs empty, so a pipelined
+// burst costs one syscall per drain, not per response.
+func (c *conn) writeLoop() {
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	dead := false
+	for frame := range c.out {
+		if dead {
+			continue // drain without writing: the peer is gone
+		}
+		if _, err := bw.Write(frame); err != nil {
+			dead = true
+			c.fail()
+			c.nc.Close() // unblock the reader too
+			continue
+		}
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				dead = true
+				c.fail()
+				c.nc.Close()
+			}
+		}
+	}
+	if !dead {
+		bw.Flush()
+	}
+	c.fail()
+	c.nc.Close()
+}

@@ -1,0 +1,48 @@
+package stmnet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+	"repro/stm"
+)
+
+// ErrClientClosed reports that the connection is gone: Close was
+// called, or the peer hung up. In-flight and later Do calls return it
+// (or the earlier sticky transport error that killed the connection).
+var ErrClientClosed = errors.New("stmnet: client closed")
+
+// ErrBadRequest is the base error for batches the server rejected
+// before running them (unknown opcode, oversized PUT, bounds
+// violations). The returned error wraps it with the server's message.
+var ErrBadRequest = errors.New("stmnet: bad request")
+
+// ErrServerClosing reports that the server refused the batch because it
+// is shutting down.
+var ErrServerClosing = errors.New("stmnet: server closing")
+
+// ErrServer is the base error for internal server failures.
+var ErrServer = errors.New("stmnet: server error")
+
+// respError rebuilds the typed error a TxnResp status encodes. The
+// concrete stm error types carry their fields across the wire, so
+// errors.Is(err, stm.ErrMaxAttempts), errors.As(err,
+// **stm.MaxAttemptsError) etc. behave exactly as they do against an
+// in-process Runtime.Run.
+func respError(resp *wire.TxnResp) error {
+	switch resp.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusMaxAttempts:
+		return &stm.MaxAttemptsError{Attempts: int(resp.Attempts), Cause: resp.Cause}
+	case wire.StatusNotDurable:
+		return &stm.NotDurableError{Seq: resp.Seq}
+	case wire.StatusBadRequest:
+		return fmt.Errorf("%w: %s", ErrBadRequest, resp.Msg)
+	case wire.StatusClosing:
+		return ErrServerClosing
+	default:
+		return fmt.Errorf("%w: %s", ErrServer, resp.Msg)
+	}
+}

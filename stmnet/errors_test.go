@@ -1,0 +1,78 @@
+package stmnet
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/wire"
+	"repro/stm"
+)
+
+// TestRespErrorMapping pins the status-code → typed-error table: the
+// reconstructed errors must satisfy the same errors.Is/As checks as the
+// originals an in-process Run returns.
+func TestRespErrorMapping(t *testing.T) {
+	if err := respError(&wire.TxnResp{Status: wire.StatusOK}); err != nil {
+		t.Fatalf("StatusOK → %v", err)
+	}
+
+	err := respError(&wire.TxnResp{Status: wire.StatusMaxAttempts, Attempts: 7, Cause: 2})
+	if !errors.Is(err, stm.ErrMaxAttempts) {
+		t.Fatalf("MaxAttempts: errors.Is failed: %v", err)
+	}
+	var ma *stm.MaxAttemptsError
+	if !errors.As(err, &ma) || ma.Attempts != 7 || ma.Cause != 2 {
+		t.Fatalf("MaxAttempts fields lost: %+v", ma)
+	}
+
+	err = respError(&wire.TxnResp{Status: wire.StatusNotDurable, Seq: 42})
+	if !errors.Is(err, stm.ErrNotDurable) {
+		t.Fatalf("NotDurable: errors.Is failed: %v", err)
+	}
+	var nd *stm.NotDurableError
+	if !errors.As(err, &nd) || nd.Seq != 42 {
+		t.Fatalf("NotDurable fields lost: %+v", nd)
+	}
+
+	err = respError(&wire.TxnResp{Status: wire.StatusBadRequest, Msg: "nope"})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("BadRequest: %v", err)
+	}
+	if err := respError(&wire.TxnResp{Status: wire.StatusClosing}); !errors.Is(err, ErrServerClosing) {
+		t.Fatalf("Closing: %v", err)
+	}
+	if err := respError(&wire.TxnResp{Status: wire.StatusInternal, Msg: "boom"}); !errors.Is(err, ErrServer) {
+		t.Fatalf("Internal: %v", err)
+	}
+}
+
+// TestBatchBuilder pins op order and encoding-relevant fields.
+func TestBatchBuilder(t *testing.T) {
+	b := NewBatch().Get("a").Put("b", 1, 2).Add("c", Neg(5)).CAS("d", 0, 9)
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	want := []struct {
+		code wire.OpCode
+		key  string
+	}{
+		{wire.OpGet, "a"}, {wire.OpPut, "b"}, {wire.OpAdd, "c"}, {wire.OpCAS, "d"},
+	}
+	for i, w := range want {
+		if b.ops[i].Code != w.code || b.ops[i].Key != w.key {
+			t.Fatalf("op %d = %+v, want code %d key %q", i, b.ops[i], w.code, w.key)
+		}
+	}
+	if b.ops[2].Delta != ^uint64(4) {
+		t.Fatalf("Neg(5) = %#x", b.ops[2].Delta)
+	}
+	if b.flags != 0 {
+		t.Fatalf("flags = %d before ForceUpdate", b.flags)
+	}
+	if b.ForceUpdate(); b.flags&wire.FlagUpdate == 0 {
+		t.Fatal("ForceUpdate did not set FlagUpdate")
+	}
+	if v := (Result{}).Val(); v != 0 {
+		t.Fatalf("empty Result.Val = %d", v)
+	}
+}

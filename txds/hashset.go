@@ -7,13 +7,32 @@ import "repro/stm"
 // intset family, and its bucket array is the showcase for
 // conflict-detection granularity: with coarse orec mapping, operations on
 // different buckets false-share orecs.
+//
+// Nodes are typed objects (stm.Ref[hsNode]): a chain walk loads each
+// node with one multi-word read instead of one read per field, so a
+// lookup costs one footprint touch per node and snapshot readers
+// reconstruct each node from the version store with a single index
+// probe. Chain links still go through StoreAddr so profiling runs see
+// the bucket→node and node→node edges.
 type HashSet struct {
 	buckets  stm.Addr // [0]=nbuckets, [1..1+nbuckets) chain heads
 	nbuckets uint64
 	nodeSite stm.SiteID
 }
 
-const hsNodeWords = 3 // key, val, next
+// hsNode is the heap layout of one chain node. Field order mirrors the
+// word offsets (hsKey, hsVal, hsNext).
+type hsNode struct {
+	Key  uint64
+	Val  uint64
+	Next stm.Addr
+}
+
+const (
+	hsKey  = 0
+	hsVal  = 1
+	hsNext = 2
+)
 
 // NewHashSet creates a hash set with nbuckets chains (rounded up to a
 // power of two) and sites "<name>.buckets" and "<name>.node".
@@ -46,10 +65,12 @@ func (h *HashSet) bucketCell(k uint64) stm.Addr {
 
 // Lookup returns the value stored under k.
 func (h *HashSet) Lookup(tx *stm.Tx, k uint64) (uint64, bool) {
-	for n := tx.LoadAddr(h.bucketCell(k)); n != stm.Nil; n = tx.LoadAddr(n + offNext) {
-		if tx.Load(n+offKey) == k {
-			return tx.Load(n + offVal), true
+	for a := tx.LoadAddr(h.bucketCell(k)); a != stm.Nil; {
+		n := stm.RefAt[hsNode](a).Load(tx)
+		if n.Key == k {
+			return n.Val, true
 		}
+		a = n.Next
 	}
 	return 0, false
 }
@@ -62,43 +83,71 @@ func (h *HashSet) Contains(tx *stm.Tx, k uint64) bool {
 
 // Insert adds k→v if absent; reports whether it inserted.
 func (h *HashSet) Insert(tx *stm.Tx, k, v uint64) bool {
+	return h.insert(tx, k, v, false)
+}
+
+// InsertRef adds k→addr if absent, storing the value word through
+// StoreAddr so a profiling run records the node→target pointer edge —
+// the entry point for directories whose values are heap objects (e.g.
+// the network server's keyed object space, which maps interned key
+// hashes to value-object addresses). Reports whether it inserted.
+func (h *HashSet) InsertRef(tx *stm.Tx, k uint64, addr stm.Addr) bool {
+	return h.insert(tx, k, uint64(addr), true)
+}
+
+func (h *HashSet) insert(tx *stm.Tx, k, v uint64, link bool) bool {
 	cell := h.bucketCell(k)
-	for n := tx.LoadAddr(cell); n != stm.Nil; n = tx.LoadAddr(n + offNext) {
-		if tx.Load(n+offKey) == k {
+	for a := tx.LoadAddr(cell); a != stm.Nil; {
+		n := stm.RefAt[hsNode](a).Load(tx)
+		if n.Key == k {
 			return false
 		}
+		a = n.Next
 	}
-	n := tx.Alloc(h.nodeSite, hsNodeWords)
-	tx.Store(n+offKey, k)
-	tx.Store(n+offVal, v)
-	tx.StoreAddr(n+offNext, tx.LoadAddr(cell))
-	tx.StoreAddr(cell, n)
+	head := tx.LoadAddr(cell)
+	n := stm.AllocRef[hsNode](tx, h.nodeSite)
+	n.Store(tx, hsNode{Key: k, Val: v, Next: head})
+	if link {
+		// Re-store the value word through StoreAddr: same committed
+		// bits, plus the profiling edge node→value-object.
+		tx.StoreAddr(n.WordAddr(hsVal), stm.Addr(v))
+	}
+	tx.StoreAddr(n.WordAddr(hsNext), head)
+	tx.StoreAddr(cell, n.Addr())
 	return true
 }
 
 // Set stores k→v (upsert); reports whether the key was newly inserted.
 func (h *HashSet) Set(tx *stm.Tx, k, v uint64) bool {
 	cell := h.bucketCell(k)
-	for n := tx.LoadAddr(cell); n != stm.Nil; n = tx.LoadAddr(n + offNext) {
-		if tx.Load(n+offKey) == k {
-			tx.Store(n+offVal, v)
+	for a := tx.LoadAddr(cell); a != stm.Nil; {
+		ref := stm.RefAt[hsNode](a)
+		n := ref.Load(tx)
+		if n.Key == k {
+			n.Val = v
+			ref.Store(tx, n)
 			return false
 		}
+		a = n.Next
 	}
 	return h.Insert(tx, k, v)
 }
 
-// Remove deletes k, returning its value.
+// Remove deletes k, returning its value. The unlink rewrites the
+// predecessor's link word (the bucket cell for the chain head) through
+// StoreAddr.
 func (h *HashSet) Remove(tx *stm.Tx, k uint64) (uint64, bool) {
 	cell := h.bucketCell(k)
-	for n := tx.LoadAddr(cell); n != stm.Nil; n = tx.LoadAddr(n + offNext) {
-		if tx.Load(n+offKey) == k {
-			v := tx.Load(n + offVal)
-			tx.StoreAddr(cell, tx.LoadAddr(n+offNext))
-			tx.Free(n, hsNodeWords)
-			return v, true
+	for a := tx.LoadAddr(cell); a != stm.Nil; {
+		ref := stm.RefAt[hsNode](a)
+		n := ref.Load(tx)
+		if n.Key == k {
+			tx.StoreAddr(cell, n.Next)
+			ref.Free(tx)
+			return n.Val, true
 		}
-		cell = n + offNext
+		cell = ref.WordAddr(hsNext)
+		a = n.Next
 	}
 	return 0, false
 }
@@ -107,8 +156,9 @@ func (h *HashSet) Remove(tx *stm.Tx, k uint64) (uint64, bool) {
 func (h *HashSet) Len(tx *stm.Tx) int {
 	total := 0
 	for b := uint64(0); b < h.nbuckets; b++ {
-		for n := tx.LoadAddr(h.buckets + 1 + stm.Addr(b)); n != stm.Nil; n = tx.LoadAddr(n + offNext) {
+		for a := tx.LoadAddr(h.buckets + 1 + stm.Addr(b)); a != stm.Nil; {
 			total++
+			a = stm.RefAt[hsNode](a).Load(tx).Next
 		}
 	}
 	return total
